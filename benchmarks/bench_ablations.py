@@ -1,0 +1,32 @@
+"""E10 benchmark — ablations of the tournament design choices."""
+
+from conftest import record_rows
+
+from repro.experiments import ablations
+
+
+def test_ablation_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.run(n=1024, phi=0.25, eps=0.1, trials=2, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, rows, ("ablation", "setting", "mean_error", "node_success_fraction"))
+    by_setting = {(row["ablation"], row["setting"]): row for row in rows}
+
+    # the paper's configuration meets the eps guarantee
+    paper = by_setting[("phase-one", "phase I + phase II (paper)")]
+    assert paper["mean_error"] <= 0.1 + 1e-9
+
+    # skipping Phase I collapses the answer to the median: error ~ |phi - 1/2|
+    ablated = by_setting[("phase-one", "phase II only (ablated)")]
+    assert ablated["mean_error"] > 0.15
+
+    # the truncated last iteration is never worse than forcing delta = 1
+    truncated = by_setting[("last-iteration-truncation", "delta-truncated (paper)")]
+    forced = by_setting[("last-iteration-truncation", "delta=1 (ablated)")]
+    assert truncated["mean_error"] <= forced["mean_error"] + 0.05
+
+    # a tiny final vote is noticeably less reliable than K = 15
+    votes = {row["setting"]: row for row in rows if row["ablation"] == "final-vote-size"}
+    assert votes["K=15"]["node_success_fraction"] >= votes["K=1"]["node_success_fraction"]

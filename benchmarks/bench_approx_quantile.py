@@ -1,0 +1,33 @@
+"""E2 benchmark — Theorem 1.2: approximate quantile round scaling and error."""
+
+from conftest import record_rows
+
+from repro.experiments import approx_rounds
+
+
+def test_approx_rounds_vs_n(benchmark):
+    """Rounds should stay nearly flat as n doubles (the log log n term)."""
+    rows = benchmark.pedantic(
+        lambda: approx_rounds.run(
+            sizes=(512, 2048, 8192), eps_values=(0.1,), phis=(0.5,), trials=2, seed=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, rows, ("n", "eps", "rounds", "max_error", "success_fraction"))
+    assert rows[-1]["rounds"] <= rows[0]["rounds"] + 12
+    assert all(row["success_fraction"] >= 0.5 for row in rows)
+
+
+def test_approx_rounds_vs_eps(benchmark):
+    """Rounds should grow roughly linearly in log(1/eps)."""
+    rows = benchmark.pedantic(
+        lambda: approx_rounds.run(
+            sizes=(2048,), eps_values=(0.2, 0.1, 0.05, 0.025), phis=(0.5,), trials=2, seed=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, rows, ("eps", "rounds", "reference", "max_error"))
+    assert rows[-1]["rounds"] > rows[0]["rounds"]
+    assert rows[-1]["rounds"] < 6 * rows[0]["rounds"]

@@ -1,0 +1,26 @@
+"""E7 benchmark — head-to-head comparison of all approximate algorithms."""
+
+from conftest import record_rows
+
+from repro.experiments import baselines_compare
+
+
+def test_baselines_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: baselines_compare.run(n=2048, eps=0.1, phi=0.75, trials=2, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(
+        benchmark,
+        rows,
+        ("algorithm", "rounds", "max_message_bits", "mean_error", "success_fraction"),
+    )
+    by_name = {row["algorithm"]: row for row in rows}
+    tournament = by_name["tournament"]
+    # the tournament needs far fewer rounds than sampling at the same eps...
+    assert by_name["sampling"]["rounds"] > 5 * tournament["rounds"]
+    # ...and far smaller messages than doubling at a comparable round count
+    assert by_name["doubling"]["max_message_bits"] > 20 * tournament["max_message_bits"]
+    assert by_name["compacted-doubling"]["max_message_bits"] < by_name["doubling"]["max_message_bits"]
+    assert all(row["mean_error"] <= 0.12 for row in rows)

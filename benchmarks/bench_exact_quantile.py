@@ -1,0 +1,24 @@
+"""E1 benchmark — Theorem 1.1: exact quantile rounds, tournament vs Kempe.
+
+Regenerates the EXPERIMENTS.md E1 table (with a reduced sweep) and records
+the round counts and the speed-up column in the benchmark report.
+"""
+
+from conftest import record_rows
+
+from repro.experiments import exact_rounds
+
+
+def test_exact_rounds_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exact_rounds.run(sizes=(256, 1024, 4096), phis=(0.5,), trials=2, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(
+        benchmark,
+        rows,
+        ("n", "tournament_rounds", "kempe_rounds", "speedup", "tournament_correct"),
+    )
+    assert all(row["tournament_correct"] == 1.0 for row in rows)
+    assert all(row["kempe_correct"] == 1.0 for row in rows)

@@ -1,0 +1,28 @@
+"""E3 benchmark — Theorem 1.3: the information-spreading lower bound."""
+
+from conftest import record_rows
+
+from repro.experiments import lower_bound
+
+
+def test_lower_bound_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: lower_bound.run(
+            sizes=(1024, 8192, 65536), eps_values=(0.1, 0.02), trials=2, seed=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(
+        benchmark,
+        rows,
+        ("n", "eps", "rounds_to_all_informed", "theorem_bound", "ratio"),
+    )
+    # the measured spreading time never beats the theorem's floor
+    assert all(row["rounds_to_all_informed"] >= row["theorem_bound"] - 1 for row in rows)
+    # and it grows as eps shrinks
+    by_n = {}
+    for row in rows:
+        by_n.setdefault(row["n"], {})[row["eps"]] = row["rounds_to_all_informed"]
+    for n, eps_map in by_n.items():
+        assert eps_map[0.02] >= eps_map[0.1]

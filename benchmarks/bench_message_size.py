@@ -1,0 +1,26 @@
+"""E8 benchmark — Appendix A: per-message bit budgets across algorithms."""
+
+from conftest import record_rows
+
+from repro.experiments import message_size
+
+
+def test_message_size_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: message_size.run(sizes=(512, 2048), eps_values=(0.1, 0.05), seed=8),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(
+        benchmark,
+        rows,
+        ("n", "eps", "tournament_bits", "doubling_bits", "compacted_bits"),
+    )
+    for row in rows:
+        assert row["tournament_bits"] < row["compacted_bits"] < row["doubling_bits"]
+    # doubling's message size grows quadratically in 1/eps, the tournament's is flat
+    small_eps = [row for row in rows if row["eps"] == 0.05]
+    large_eps = [row for row in rows if row["eps"] == 0.1]
+    for fine, coarse in zip(small_eps, large_eps):
+        assert fine["doubling_bits"] >= 3 * coarse["doubling_bits"]
+        assert fine["tournament_bits"] == coarse["tournament_bits"]

@@ -1,0 +1,25 @@
+"""E4 benchmark — Theorem 1.4: robustness to per-round node failures."""
+
+from conftest import record_rows
+
+from repro.experiments import robustness
+
+
+def test_robustness_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: robustness.run(sizes=(1024,), mus=(0.0, 0.2, 0.5), eps=0.1, trials=2, seed=4),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(
+        benchmark,
+        rows,
+        ("mu", "rounds", "slowdown", "good_fraction", "answered_fraction", "mean_error"),
+    )
+    clean = rows[0]
+    heavy = rows[-1]
+    # failures inflate the round count only by a constant factor
+    assert heavy["rounds"] <= 12 * clean["rounds"]
+    # and nearly every node still learns an eps-approximate answer
+    assert all(row["answered_fraction"] > 0.9 for row in rows)
+    assert all(row["mean_error"] <= 0.1 + 1e-9 for row in rows)

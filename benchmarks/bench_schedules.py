@@ -1,0 +1,23 @@
+"""E6 benchmark — Lemmas 2.2 / 2.12: schedule lengths and concentration."""
+
+from conftest import record_rows
+
+from repro.experiments import schedule_validation
+
+
+def test_schedule_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: schedule_validation.run(
+            sizes=(1024, 4096), phis=(0.25, 0.75), eps_values=(0.1, 0.05), seed=6
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(
+        benchmark,
+        rows,
+        ("n", "phi", "eps", "phase1_iterations", "phase2_iterations", "max_trajectory_deviation"),
+    )
+    assert all(row["phase1_iterations"] <= row["phase1_bound"] + 1 for row in rows)
+    assert all(row["phase2_iterations"] <= row["phase2_bound"] + 1 for row in rows)
+    assert all(row["max_trajectory_deviation"] < 0.1 for row in rows)

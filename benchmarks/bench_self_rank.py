@@ -1,0 +1,22 @@
+"""E5 benchmark — Corollary 1.5: every node estimates its own quantile."""
+
+from conftest import record_rows
+
+from repro.experiments import self_rank
+
+
+def test_self_rank_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: self_rank.run(
+            workloads=("distinct", "zipf", "sensor"), sizes=(1024,), eps_values=(0.1,), seed=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(
+        benchmark,
+        rows,
+        ("workload", "eps", "rounds", "mean_error", "p95_error", "fraction_within_2eps"),
+    )
+    assert all(row["fraction_within_2eps"] > 0.9 for row in rows)
+    assert all(row["mean_error"] <= 0.1 for row in rows)

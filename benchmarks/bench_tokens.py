@@ -1,0 +1,26 @@
+"""E9 benchmark — Algorithm 3 Step 7: token split-and-distribute."""
+
+from conftest import record_rows
+
+from repro.experiments import token_distribution
+
+
+def test_token_distribution_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: token_distribution.run(
+            sizes=(512, 2048, 4096), mus=(0.0, 0.3), trials=2, seed=9
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(
+        benchmark,
+        rows,
+        ("n", "mu", "phases", "rounds", "max_tokens_per_node", "failed_pushes"),
+    )
+    # phases stay O(log n) and the per-node token load stays O(1)
+    assert all(row["phases"] <= 4 * __import__("math").log2(row["n"]) for row in rows)
+    assert all(row["max_tokens_per_node"] <= 16 for row in rows)
+    # failures cost extra pushes but the process still completes
+    faulty = [row for row in rows if row["mu"] > 0]
+    assert all(row["failed_pushes"] > 0 for row in faulty)

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e .`` also works on offline environments
+whose pip/setuptools combination cannot build editable wheels (legacy
+``setup.py develop`` path, no ``wheel`` package required).
+"""
+
+from setuptools import setup
+
+setup()

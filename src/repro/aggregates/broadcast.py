@@ -1,0 +1,109 @@
+"""Single-message rumor spreading (push-pull broadcast).
+
+Broadcasting one message to all ``n`` nodes takes Θ(log n) rounds
+[FG85, Pit87, KSSV00].  This is the reference point that makes the O(log n)
+exact-quantile algorithm of Theorem 1.1 optimal: even after the quantile
+value has been identified, spreading it to every node costs Ω(log n).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.gossip.engine import run_protocol
+from repro.gossip.failures import FailureModel
+from repro.gossip.metrics import NetworkMetrics
+from repro.gossip.protocol import Action, GossipProtocol
+from repro.utils.rand import RandomSource
+
+
+class BroadcastProtocol(GossipProtocol):
+    """Push-pull spreading of a single rumor from one source node."""
+
+    name = "broadcast"
+
+    def __init__(
+        self,
+        n: int,
+        source: int = 0,
+        payload: float = 1.0,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        super().__init__(n)
+        if not 0 <= source < n:
+            raise ConfigurationError("source must be a valid node index")
+        self._informed = np.zeros(n, dtype=bool)
+        self._informed[source] = True
+        self._payload = payload
+        self._budget = (
+            max_rounds
+            if max_rounds is not None
+            else int(math.ceil(4 * math.log2(n) + 12))
+        )
+
+    def act(self, node: int, round_index: int) -> Action:
+        if self._informed[node]:
+            return Action.pushpull(self._payload)
+        return Action.pull()
+
+    def serve_pull(self, node: int, requester: int, round_index: int):
+        return self._payload if self._informed[node] else None
+
+    def on_receive(self, node, payload, sender, kind, round_index) -> None:
+        if payload is not None:
+            self._informed[node] = True
+
+    def is_done(self, round_index: int) -> bool:
+        if round_index >= self._budget:
+            return True
+        return bool(np.all(self._informed)) and round_index > 0
+
+    def outputs(self) -> List[bool]:
+        return [bool(v) for v in self._informed]
+
+    @property
+    def informed_count(self) -> int:
+        return int(self._informed.sum())
+
+
+@dataclass
+class BroadcastResult:
+    rounds: int
+    informed: int
+    n: int
+    metrics: NetworkMetrics
+
+    @property
+    def all_informed(self) -> bool:
+        return self.informed == self.n
+
+
+def broadcast_rounds(
+    n: int,
+    rng: Union[None, int, RandomSource] = None,
+    failure_model: Union[None, float, FailureModel] = None,
+    source: int = 0,
+    max_rounds: Optional[int] = None,
+    metrics: Optional[NetworkMetrics] = None,
+) -> BroadcastResult:
+    """Measure how many rounds push-pull broadcast needs to inform all nodes."""
+    protocol = BroadcastProtocol(n, source=source, max_rounds=max_rounds)
+    result = run_protocol(
+        protocol,
+        rng=rng,
+        failure_model=failure_model,
+        max_rounds=protocol._budget + 1,
+        metrics=metrics,
+        raise_on_budget=False,
+    )
+    return BroadcastResult(
+        rounds=result.rounds,
+        informed=protocol.informed_count,
+        n=n,
+        metrics=result.metrics,
+    )

@@ -1,0 +1,29 @@
+"""Analysis helpers: theoretical reference curves, empirical error measurement
+and plain-text table rendering for the experiment harness."""
+
+from repro.analysis.theory import (
+    approx_rounds_reference,
+    exact_rounds_reference,
+    kempe_rounds_reference,
+    sampling_rounds_reference,
+)
+from repro.analysis.empirics import (
+    TrialSummary,
+    measure_approx_trial,
+    success_fraction,
+    summarize_errors,
+)
+from repro.analysis.tables import format_table, rows_to_csv
+
+__all__ = [
+    "approx_rounds_reference",
+    "exact_rounds_reference",
+    "kempe_rounds_reference",
+    "sampling_rounds_reference",
+    "TrialSummary",
+    "measure_approx_trial",
+    "success_fraction",
+    "summarize_errors",
+    "format_table",
+    "rows_to_csv",
+]

@@ -1,0 +1,84 @@
+"""Empirical measurement helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.approx_quantile import approximate_quantile
+from repro.exceptions import ConfigurationError
+from repro.utils.rand import RandomSource
+from repro.utils.stats import fraction_within_eps, rank_error
+
+
+@dataclass
+class TrialSummary:
+    """Error and round statistics for one algorithm trial."""
+
+    n: int
+    phi: float
+    eps: float
+    rounds: int
+    error: float
+    node_success_fraction: float
+    succeeded: bool
+
+
+def measure_approx_trial(
+    values: Union[np.ndarray, Sequence[float]],
+    phi: float,
+    eps: float,
+    rng: Union[None, int, RandomSource] = None,
+    **kwargs,
+) -> TrialSummary:
+    """Run one approximate-quantile trial and measure its error."""
+    array = np.asarray(values, dtype=float)
+    result = approximate_quantile(array, phi=phi, eps=eps, rng=rng, **kwargs)
+    error = rank_error(array, result.estimate, phi)
+    node_success = fraction_within_eps(array, result.estimates, phi, eps)
+    return TrialSummary(
+        n=array.size,
+        phi=phi,
+        eps=eps,
+        rounds=result.rounds,
+        error=error,
+        node_success_fraction=node_success,
+        succeeded=error <= eps + 1e-12,
+    )
+
+
+def success_fraction(trials: Iterable[TrialSummary]) -> float:
+    """Fraction of trials whose representative estimate met the ε guarantee."""
+    trials = list(trials)
+    if not trials:
+        raise ConfigurationError("no trials given")
+    return sum(1 for t in trials if t.succeeded) / len(trials)
+
+
+def summarize_errors(trials: Iterable[TrialSummary]) -> Dict[str, float]:
+    """Aggregate error / round statistics over a collection of trials."""
+    trials = list(trials)
+    if not trials:
+        raise ConfigurationError("no trials given")
+    errors = np.array([t.error for t in trials], dtype=float)
+    rounds = np.array([t.rounds for t in trials], dtype=float)
+    node_success = np.array([t.node_success_fraction for t in trials], dtype=float)
+    return {
+        "trials": float(len(trials)),
+        "mean_error": float(errors.mean()),
+        "max_error": float(errors.max()),
+        "mean_rounds": float(rounds.mean()),
+        "max_rounds": float(rounds.max()),
+        "mean_node_success": float(node_success.mean()),
+        "success_fraction": success_fraction(trials),
+    }
+
+
+def geometric_means(rows: List[Dict[str, float]], key: str) -> float:
+    """Geometric mean of a positive column across result rows."""
+    values = np.array([row[key] for row in rows], dtype=float)
+    if values.size == 0 or np.any(values <= 0):
+        raise ConfigurationError("geometric mean needs positive values")
+    return float(np.exp(np.mean(np.log(values))))

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for the experiment harness and CLI."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render result rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        raise ConfigurationError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: len(col) for col in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = [_format_cell(row.get(col, "")) for col in columns]
+        rendered.append(cells)
+        for col, cell in zip(columns, cells):
+            widths[col] = max(widths[col], len(cell))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    out.write(header + "\n")
+    out.write("  ".join("-" * widths[col] for col in columns) + "\n")
+    for cells in rendered:
+        out.write("  ".join(cell.ljust(widths[col]) for col, cell in zip(columns, cells)) + "\n")
+    return out.getvalue()
+
+
+def rows_to_csv(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render result rows as CSV text."""
+    rows = list(rows)
+    if not rows:
+        raise ConfigurationError("cannot serialise an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(_format_cell(row.get(col, "")) for col in columns))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,71 @@
+"""Theoretical reference curves for the experiments.
+
+The experiments report measured round counts next to the asymptotic
+formulas the paper proves, evaluated with unit constants.  The comparison
+of *shapes* (which curve is flat in n, which grows like log n, log² n, or
+1/ε²) is the reproduction target; absolute constants depend on the
+simulator and on the generous safety margins baked into the protocols.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def _validate(n: int, eps: float = 0.1) -> None:
+    if n < 2:
+        raise ConfigurationError("n must be at least 2")
+    if not 0.0 < eps < 1.0:
+        raise ConfigurationError("eps must be in (0, 1)")
+
+
+def approx_rounds_reference(n: int, eps: float) -> float:
+    """Theorem 1.2 reference: log2 log2 n + log2(1/eps)."""
+    _validate(n, eps)
+    loglog = math.log2(max(2.0, math.log2(n)))
+    return loglog + math.log2(1.0 / eps)
+
+
+def exact_rounds_reference(n: int) -> float:
+    """Theorem 1.1 reference: log2 n."""
+    _validate(n)
+    return math.log2(n)
+
+
+def kempe_rounds_reference(n: int) -> float:
+    """[KDG03] reference: log2² n."""
+    _validate(n)
+    return math.log2(n) ** 2
+
+
+def sampling_rounds_reference(n: int, eps: float) -> float:
+    """Sampling baseline reference: log2 n / eps²."""
+    _validate(n, eps)
+    return math.log2(n) / (eps * eps)
+
+
+def doubling_rounds_reference(n: int, eps: float) -> float:
+    """Doubling baseline reference: log2(log2 n / eps²) rounds."""
+    _validate(n, eps)
+    return math.log2(max(2.0, math.log2(n) / (eps * eps)))
+
+
+def lower_bound_reference(n: int, eps: float) -> float:
+    """Theorem 1.3 reference: max(½ log2 log2 n, log4(8/eps))."""
+    _validate(n, eps)
+    return max(
+        0.5 * math.log2(max(2.0, math.log2(n))),
+        math.log(8.0 / eps) / math.log(4.0),
+    )
+
+
+def robust_slowdown_reference(mu: float) -> float:
+    """Section 5 reference: the per-iteration pull blow-up 1/(1-mu)·log(1/(1-mu))."""
+    if not 0.0 <= mu < 1.0:
+        raise ConfigurationError("mu must be in [0, 1)")
+    if mu == 0.0:
+        return 1.0
+    scale = 1.0 / (1.0 - mu)
+    return scale * max(1.0, math.log(scale))

@@ -1,0 +1,35 @@
+"""Baseline algorithms the paper compares against.
+
+* :mod:`repro.baselines.kempe_quantile` — Kempe-Dobra-Gehrke exact quantile
+  selection, Θ(log² n) rounds (the previous state of the art).
+* :mod:`repro.baselines.direct_sampling` — the trivial O(log n / ε²)-round
+  sampling algorithm.
+* :mod:`repro.baselines.doubling` — the Appendix A buffer-doubling algorithm
+  (O(log log n + log 1/ε) rounds, Θ(log² n / ε²)-bit messages).
+* :mod:`repro.baselines.compacted_doubling` — the Appendix A.1 compaction
+  variant with Θ((1/ε)(log log n + log 1/ε))-entry messages.
+* :mod:`repro.baselines.median_rule` — the Doerr et al. 3-sample median rule
+  (median only, O(log n) rounds).
+"""
+
+from repro.baselines.kempe_quantile import KempeQuantileResult, kempe_exact_quantile
+from repro.baselines.direct_sampling import SamplingResult, sampling_quantile
+from repro.baselines.doubling import DoublingResult, doubling_quantile
+from repro.baselines.compacted_doubling import (
+    CompactedDoublingResult,
+    compacted_doubling_quantile,
+)
+from repro.baselines.median_rule import MedianRuleResult, median_rule
+
+__all__ = [
+    "KempeQuantileResult",
+    "kempe_exact_quantile",
+    "SamplingResult",
+    "sampling_quantile",
+    "DoublingResult",
+    "doubling_quantile",
+    "CompactedDoublingResult",
+    "compacted_doubling_quantile",
+    "MedianRuleResult",
+    "median_rule",
+]

@@ -1,0 +1,123 @@
+"""The Appendix A buffer-doubling algorithm.
+
+Each node starts with a buffer holding one uniformly sampled value.  Every
+round it pulls the buffer of a random node and takes the union, so the
+buffer size doubles each round; after ``O(log log n + log 1/ε)`` rounds the
+buffer holds ``Ω(log n / ε²)`` (correlated but usable — Lemma A.2) samples
+and its empirical φ-quantile is an ε-approximation.  The price is the
+message size: buffers of ``Θ(log n / ε²)`` values, i.e. ``Θ(log² n / ε²)``
+bits per message, far above the standard O(log n) budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.gossip.messages import buffer_bits
+from repro.gossip.metrics import NetworkMetrics
+from repro.utils.rand import RandomSource
+from repro.utils.stats import empirical_quantile
+
+#: Refuse to materialise buffer matrices above this many entries.
+MAX_TOTAL_BUFFER_ENTRIES = 30_000_000
+
+
+def doubling_target_size(n: int, eps: float, constant: float = 1.0) -> int:
+    """Buffer size Ω(log n / ε²) at which the doubling algorithm stops."""
+    if n < 2:
+        raise ConfigurationError("n must be at least 2")
+    if not 0.0 < eps < 1.0:
+        raise ConfigurationError("eps must be in (0, 1)")
+    return int(math.ceil(constant * math.log2(n) / (eps * eps)))
+
+
+@dataclass
+class DoublingResult:
+    """Outcome of the buffer-doubling baseline."""
+
+    phi: float
+    eps: float
+    n: int
+    estimates: np.ndarray
+    estimate: float
+    rounds: int
+    buffer_size: int
+    max_message_bits: int
+    metrics: NetworkMetrics
+
+
+def doubling_quantile(
+    values: Union[np.ndarray, list, tuple],
+    phi: float,
+    eps: float,
+    rng: Union[None, int, RandomSource] = None,
+    target_size: Optional[int] = None,
+    constant: float = 1.0,
+) -> DoublingResult:
+    """Run the buffer-doubling algorithm of Appendix A.
+
+    Raises :class:`ConfigurationError` if the required buffer matrix would
+    exceed :data:`MAX_TOTAL_BUFFER_ENTRIES` (choose a larger ``eps`` or a
+    smaller ``n`` — the point of this baseline is its message size, which
+    experiment E8 measures at moderate scale).
+    """
+    if not 0.0 <= phi <= 1.0:
+        raise ConfigurationError("phi must be in [0, 1]")
+    if not 0.0 < eps < 1.0:
+        raise ConfigurationError("eps must be in (0, 1)")
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size < 2:
+        raise ConfigurationError("values must be a 1-d array of length >= 2")
+    n = array.size
+    if target_size is None:
+        target_size = doubling_target_size(n, eps, constant)
+    if n * target_size > MAX_TOTAL_BUFFER_ENTRIES:
+        raise ConfigurationError(
+            f"doubling buffers would need {n * target_size} entries in total; "
+            "increase eps, reduce n, or pass an explicit smaller target_size"
+        )
+
+    source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+    metrics = NetworkMetrics(keep_history=False)
+
+    # Round 0: every node samples one uniformly random value.
+    metrics.begin_round(label="doubling")
+    metrics.record_messages(n, buffer_bits(1))
+    buffers = array[source.integers(0, n, size=(n, 1))]
+
+    max_bits = buffer_bits(1)
+    rounds = 1
+    while buffers.shape[1] < target_size:
+        partners = source.integers(0, n, size=n)
+        own = np.arange(n)
+        mask = partners == own
+        while np.any(mask):
+            partners[mask] = source.integers(0, n, size=int(mask.sum()))
+            mask = partners == own
+        incoming = buffers[partners]
+        bits = buffer_bits(buffers.shape[1])
+        max_bits = max(max_bits, bits)
+        metrics.begin_round(label="doubling")
+        metrics.record_messages(n, bits)
+        buffers = np.concatenate([buffers, incoming], axis=1)
+        rounds += 1
+
+    estimates = np.array(
+        [empirical_quantile(buffers[i], phi) for i in range(n)], dtype=float
+    )
+    return DoublingResult(
+        phi=phi,
+        eps=eps,
+        n=n,
+        estimates=estimates,
+        estimate=float(np.median(estimates)),
+        rounds=rounds,
+        buffer_size=int(buffers.shape[1]),
+        max_message_bits=max_bits,
+        metrics=metrics,
+    )

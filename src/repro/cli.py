@@ -1,0 +1,106 @@
+"""Command-line interface: ``python -m repro`` / ``repro-gossip``.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro list
+
+Reproduce the Theorem 1.2 round-complexity table with small parameters::
+
+    python -m repro approx-rounds --trials 2 --sizes 512 1024
+
+Compute a quantile of a file of numbers (one per line)::
+
+    python -m repro query --phi 0.9 --eps 0.05 --input values.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.approx_quantile import approximate_quantile
+from repro.core.exact_quantile import exact_quantile
+from repro.experiments.runner import REGISTRY, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gossip",
+        description=(
+            "Reproduction of 'Optimal Gossip Algorithms for Exact and "
+            "Approximate Quantile Computations' (PODC 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    for name, spec in REGISTRY.items():
+        exp = sub.add_parser(name, help=f"{spec.claim}: {spec.description}")
+        exp.add_argument("--output", choices=("table", "csv", "rows"), default="table")
+        exp.add_argument("--trials", type=int, default=None)
+        exp.add_argument("--sizes", type=int, nargs="+", default=None)
+        exp.add_argument("--seed", type=int, default=None)
+
+    query = sub.add_parser("query", help="compute a quantile of a value file via gossip")
+    query.add_argument("--input", required=True, help="text file with one value per line")
+    query.add_argument("--phi", type=float, required=True)
+    query.add_argument("--eps", type=float, default=None,
+                       help="approximation parameter; omit for the exact algorithm")
+    query.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _experiment_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {}
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    if args.sizes is not None:
+        kwargs["sizes"] = args.sizes
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return kwargs
+
+
+def _run_query(args: argparse.Namespace) -> str:
+    values = np.loadtxt(args.input, dtype=float).ravel()
+    if args.eps is None:
+        result = exact_quantile(values, phi=args.phi, rng=args.seed)
+        return (
+            f"exact {args.phi}-quantile = {result.value} "
+            f"(rank {result.target_rank} of {result.n}, {result.rounds} gossip rounds)"
+        )
+    result = approximate_quantile(values, phi=args.phi, eps=args.eps, rng=args.seed)
+    return (
+        f"approximate {args.phi}-quantile (eps={args.eps}) = {result.estimate} "
+        f"({result.rounds} gossip rounds, n={result.n})"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-gossip`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "list":
+        lines: List[str] = []
+        for name, spec in REGISTRY.items():
+            lines.append(f"{name:<16} {spec.claim:<22} {spec.description}")
+        print("\n".join(lines))
+        return 0
+    if args.command == "query":
+        print(_run_query(args))
+        return 0
+    print(run_experiment(args.command, output=args.output, **_experiment_kwargs(args)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

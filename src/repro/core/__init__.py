@@ -1,0 +1,59 @@
+"""The paper's core contribution: tournament-based gossip quantile algorithms.
+
+Public entry points
+-------------------
+* :func:`~repro.core.approx_quantile.approximate_quantile` — Theorem 1.2/2.1:
+  ε-approximate φ-quantile in O(log log n + log 1/ε) rounds.
+* :func:`~repro.core.exact_quantile.exact_quantile` — Theorem 1.1: the exact
+  φ-quantile in O(log n) rounds.
+* :func:`~repro.core.all_quantiles.estimate_all_ranks` — Corollary 1.5: every
+  node learns its own quantile up to ±ε.
+* :func:`~repro.core.robust.robust_approximate_quantile` — Theorem 1.4:
+  the failure-tolerant variant of the approximate algorithm.
+"""
+
+from repro.core.schedules import (
+    TwoTournamentSchedule,
+    ThreeTournamentSchedule,
+    two_tournament_schedule,
+    three_tournament_schedule,
+    two_tournament_iteration_bound,
+    three_tournament_iteration_bound,
+)
+from repro.core.results import (
+    ApproxQuantileResult,
+    ExactQuantileResult,
+    PhaseIterationStats,
+    TournamentPhaseResult,
+)
+from repro.core.two_tournament import run_two_tournament
+from repro.core.three_tournament import run_three_tournament
+from repro.core.approx_quantile import approximate_quantile, min_supported_eps
+from repro.core.exact_quantile import exact_quantile
+from repro.core.all_quantiles import AllRanksResult, estimate_all_ranks
+from repro.core.tokens import TokenDistributionResult, distribute_tokens
+from repro.core.robust import RobustQuantileResult, robust_approximate_quantile
+
+__all__ = [
+    "TwoTournamentSchedule",
+    "ThreeTournamentSchedule",
+    "two_tournament_schedule",
+    "three_tournament_schedule",
+    "two_tournament_iteration_bound",
+    "three_tournament_iteration_bound",
+    "ApproxQuantileResult",
+    "ExactQuantileResult",
+    "PhaseIterationStats",
+    "TournamentPhaseResult",
+    "run_two_tournament",
+    "run_three_tournament",
+    "approximate_quantile",
+    "min_supported_eps",
+    "exact_quantile",
+    "AllRanksResult",
+    "estimate_all_ranks",
+    "TokenDistributionResult",
+    "distribute_tokens",
+    "RobustQuantileResult",
+    "robust_approximate_quantile",
+]

@@ -1,0 +1,141 @@
+"""Corollary 1.5 — every node estimates its own quantile (rank) up to ±ε.
+
+Running the ε-approximate quantile algorithm for the grid of targets
+``phi = eps, 2 eps, 3 eps, ...`` lets every node bracket its own value
+between two returned grid quantiles and hence estimate its own rank up to
+an additive O(ε), in ``(1/eps) * O(log log n + log 1/eps)`` rounds overall.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.approx_quantile import approximate_quantile
+from repro.exceptions import ConfigurationError
+from repro.gossip.failures import FailureModel
+from repro.gossip.metrics import NetworkMetrics
+from repro.gossip.network import GossipNetwork
+from repro.utils.rand import RandomSource
+
+
+@dataclass
+class AllRanksResult:
+    """Per-node self-rank estimates.
+
+    Attributes
+    ----------
+    quantile_estimates:
+        ``(n,)`` array: each node's estimate of its own quantile in [0, 1].
+    grid:
+        The grid of target quantiles that was queried.
+    grid_values:
+        Per-node value estimates for each grid point, shape ``(len(grid), n)``.
+    rounds:
+        Total gossip rounds across all grid queries.
+    """
+
+    quantile_estimates: np.ndarray
+    grid: np.ndarray
+    grid_values: np.ndarray
+    rounds: int
+    metrics: NetworkMetrics
+    eps: float
+
+    @property
+    def n(self) -> int:
+        return self.quantile_estimates.size
+
+
+def estimate_all_ranks(
+    values: Union[np.ndarray, list, tuple],
+    eps: float,
+    rng: Union[None, int, RandomSource] = None,
+    failure_model: Union[None, float, FailureModel] = None,
+    query_accuracy: Optional[float] = None,
+    final_samples: int = 15,
+) -> AllRanksResult:
+    """Let every node estimate the quantile of its own value up to ~±1.5 eps.
+
+    Parameters
+    ----------
+    values:
+        One value per node.
+    eps:
+        Grid spacing: ``ceil(1/eps) - 1`` approximate quantile computations
+        are performed.  The combined self-rank error is at most
+        ``eps + query_accuracy`` (plus the w.h.p. failure probability).
+    query_accuracy:
+        Accuracy of each individual grid query; defaults to ``eps / 2``.
+    """
+    if not 0.0 < eps < 0.5:
+        raise ConfigurationError("eps must be in (0, 0.5)")
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size < 4:
+        raise ConfigurationError("values must be a 1-d array with at least 4 entries")
+    if query_accuracy is None:
+        query_accuracy = eps / 2.0
+    if not 0.0 < query_accuracy < 0.5:
+        raise ConfigurationError("query_accuracy must be in (0, 0.5)")
+
+    n = array.size
+    source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+    metrics = NetworkMetrics(keep_history=False)
+
+    grid_points = int(math.ceil(1.0 / eps)) - 1
+    grid = np.array([(j + 1) * eps for j in range(grid_points)], dtype=float)
+    grid = grid[grid < 1.0]
+
+    per_grid_estimates: List[np.ndarray] = []
+    for phi in grid:
+        network = GossipNetwork(
+            array,
+            rng=source.child(),
+            failure_model=failure_model,
+            metrics=metrics,
+            keep_history=False,
+        )
+        result = approximate_quantile(
+            network=network,
+            phi=float(phi),
+            eps=query_accuracy,
+            final_samples=final_samples,
+        )
+        per_grid_estimates.append(result.estimates)
+
+    grid_values = (
+        np.vstack(per_grid_estimates)
+        if per_grid_estimates
+        else np.empty((0, n), dtype=float)
+    )
+
+    # Each node counts how many of *its own* grid estimates lie below its
+    # value; the midpoint of the implied bracket is its rank estimate.
+    below = np.zeros(n, dtype=float)
+    for row in range(grid_values.shape[0]):
+        below += (grid_values[row] < array).astype(float)
+    quantile_estimates = np.clip((below + 0.5) * eps, 0.0, 1.0)
+
+    return AllRanksResult(
+        quantile_estimates=quantile_estimates,
+        grid=grid,
+        grid_values=grid_values,
+        rounds=metrics.rounds,
+        metrics=metrics,
+        eps=eps,
+    )
+
+
+def true_self_quantiles(values: Union[np.ndarray, list, tuple]) -> np.ndarray:
+    """The exact quantile of every node's own value (for error measurement)."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ConfigurationError("values must be a non-empty 1-d array")
+    n = array.size
+    order = np.argsort(array, kind="stable")
+    ranks = np.empty(n, dtype=float)
+    ranks[order] = np.arange(1, n + 1, dtype=float)
+    return ranks / n

@@ -1,0 +1,131 @@
+"""Theorem 1.2 / 2.1 — the ε-approximate φ-quantile algorithm.
+
+The algorithm composes the two tournament phases:
+
+* Phase I (Algorithm 1, :mod:`repro.core.two_tournament`) rewrites the value
+  of every node so that the quantiles around ``phi`` in the original data
+  become the quantiles around the median of the new data.
+* Phase II (Algorithm 2, :mod:`repro.core.three_tournament`) approximates
+  the median of the new data to within ``eps / 4``, which by Lemma 2.11 is a
+  value whose original rank lies in ``[(phi - eps) n, (phi + eps) n]``.
+
+Total round complexity: ``O(log log n + log 1/eps)``, with every message a
+single value (O(log n) bits).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.results import ApproxQuantileResult
+from repro.core.three_tournament import DEFAULT_FINAL_SAMPLES, run_three_tournament
+from repro.core.two_tournament import run_two_tournament
+from repro.exceptions import ConfigurationError
+from repro.gossip.failures import FailureModel
+from repro.gossip.metrics import NetworkMetrics
+from repro.gossip.network import GossipNetwork
+from repro.utils.rand import RandomSource
+
+
+def min_supported_eps(n: int) -> float:
+    """Smallest ``eps`` for which Theorem 2.1's analysis applies, ~ n^{-0.096}.
+
+    The theorem requires ``eps = Omega(1 / n^{0.096})`` (Lemma 2.16 carries
+    an additional poly-log factor).  This helper returns the plain power-law
+    term as *guidance*; the implementation does not enforce it because the
+    exact-quantile driver deliberately calls the approximate algorithm in
+    the regime where it composes with value duplication (Section 3).
+    """
+    if n < 2:
+        raise ConfigurationError("n must be at least 2")
+    return float(n) ** (-0.096)
+
+
+def approximate_quantile(
+    values: Union[np.ndarray, list, tuple, None] = None,
+    phi: float = 0.5,
+    eps: float = 0.1,
+    rng: Union[None, int, RandomSource] = None,
+    failure_model: Union[None, float, FailureModel] = None,
+    final_samples: int = DEFAULT_FINAL_SAMPLES,
+    track_bands: bool = False,
+    network: Optional[GossipNetwork] = None,
+    metrics: Optional[NetworkMetrics] = None,
+) -> ApproxQuantileResult:
+    """Compute an ε-approximate φ-quantile with uniform gossip.
+
+    Parameters
+    ----------
+    values:
+        One value per node.  Alternatively pass an existing ``network``.
+    phi:
+        Target quantile in ``[0, 1]``.
+    eps:
+        Approximation parameter in ``(0, 1/2)``: the output's rank is within
+        ``[(phi - eps) n, (phi + eps) n]`` w.h.p. (for ``eps`` above roughly
+        ``n^{-0.096}``; see :func:`min_supported_eps`).
+    rng:
+        Seed or :class:`RandomSource`.
+    failure_model:
+        Optional failure model.  The plain algorithm degrades gracefully
+        (failed pulls keep the previous value); the variant with the
+        Section-5 guarantees is :func:`repro.core.robust.robust_approximate_quantile`.
+    final_samples:
+        Size ``K`` of the final vote of Algorithm 2 (odd, O(1)).
+    track_bands:
+        Record per-iteration band occupancies (slower; used by experiments).
+    network / metrics:
+        Advanced: run on an existing network (its value array is consumed)
+        and/or accumulate rounds into an existing metrics object.
+
+    Returns
+    -------
+    ApproxQuantileResult
+        Per-node outputs, the representative estimate, and round accounting.
+    """
+    if not 0.0 <= phi <= 1.0:
+        raise ConfigurationError(f"phi must be in [0, 1], got {phi}")
+    if not 0.0 < eps < 0.5:
+        raise ConfigurationError(f"eps must be in (0, 0.5), got {eps}")
+
+    if network is None:
+        if values is None:
+            raise ConfigurationError("either values or network must be given")
+        network = GossipNetwork(
+            values,
+            rng=rng,
+            failure_model=failure_model,
+            metrics=metrics,
+            keep_history=False,
+        )
+    elif values is not None:
+        raise ConfigurationError("pass either values or network, not both")
+
+    rounds_before = network.metrics.rounds
+
+    phase1 = run_two_tournament(network, phi=phi, eps=eps, track_band=track_bands)
+    phase2 = run_three_tournament(
+        network,
+        eps=eps / 4.0,
+        final_samples=final_samples,
+        track_band=track_bands,
+    )
+
+    estimates = phase2.final_values
+    finite = estimates[np.isfinite(estimates)]
+    estimate = float(np.median(finite)) if finite.size else float("nan")
+    rounds = network.metrics.rounds - rounds_before
+
+    return ApproxQuantileResult(
+        phi=phi,
+        eps=eps,
+        n=network.n,
+        estimates=estimates,
+        estimate=estimate,
+        rounds=rounds,
+        metrics=network.metrics,
+        phase1=phase1,
+        phase2=phase2,
+    )

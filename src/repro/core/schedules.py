@@ -1,0 +1,218 @@
+"""Deterministic iteration schedules of the two tournament phases.
+
+Both tournament algorithms are driven by a deterministic schedule that every
+node can compute locally from ``n``, ``phi`` and ``eps``:
+
+* Algorithm 1 (2-TOURNAMENT) tracks ``h_i`` — the expected fraction of nodes
+  holding values above the target band — with ``h_{i+1} = h_i^2``, and stops
+  once ``h_i`` drops below ``T = 1/2 - eps``.  The last iteration is
+  truncated: the tournament is only performed with probability ``delta``.
+  Lemma 2.2 bounds the number of iterations by ``log_{7/4}(4/eps) + 2``.
+
+* Algorithm 2 (3-TOURNAMENT) tracks ``l_i`` (and symmetrically ``h_i``) — the
+  fraction of nodes outside the median band — with
+  ``l_{i+1} = 3 l_i^2 - 2 l_i^3``, stopping once ``l_i <= T = n^{-1/3}``.
+  Lemma 2.12 bounds the iterations by ``log_{11/8}(1/(4 eps)) + log_2 log_4 n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.exceptions import ConfigurationError
+from repro.utils.mathutils import clamp, log_base
+
+
+@dataclass(frozen=True)
+class TwoTournamentIteration:
+    """One iteration of Algorithm 1: target mass before/after and ``delta``."""
+
+    index: int
+    h_before: float
+    h_after: float
+    delta: float
+
+
+@dataclass(frozen=True)
+class TwoTournamentSchedule:
+    """The full schedule of Algorithm 1 for a given ``(phi, eps)``.
+
+    Attributes
+    ----------
+    direction:
+        ``"min"`` when the heavy side is above the band (``phi <= 1/2``
+        roughly): each node keeps the *minimum* of two sampled values, which
+        squares the fraction of above-band nodes.  ``"max"`` is the
+        symmetric case.
+    h0:
+        Initial mass of the heavy side.
+    threshold:
+        The stopping threshold ``T = 1/2 - eps``.
+    iterations:
+        Per-iteration records (``delta < 1`` only in the final iteration).
+    """
+
+    phi: float
+    eps: float
+    direction: str
+    h0: float
+    threshold: float
+    iterations: List[TwoTournamentIteration] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def rounds(self) -> int:
+        """Gossip rounds consumed: two pulls per iteration."""
+        return 2 * self.num_iterations
+
+
+@dataclass(frozen=True)
+class ThreeTournamentIteration:
+    """One iteration of Algorithm 2: out-of-band masses before/after."""
+
+    index: int
+    l_before: float
+    l_after: float
+
+
+@dataclass(frozen=True)
+class ThreeTournamentSchedule:
+    """The full schedule of Algorithm 2 for a given ``(eps, n)``."""
+
+    eps: float
+    n: int
+    l0: float
+    threshold: float
+    iterations: List[ThreeTournamentIteration] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def rounds(self) -> int:
+        """Gossip rounds consumed: three pulls per iteration."""
+        return 3 * self.num_iterations
+
+
+def _validate_phi_eps(phi: float, eps: float) -> None:
+    if not 0.0 <= phi <= 1.0:
+        raise ConfigurationError(f"phi must be in [0, 1], got {phi}")
+    if not 0.0 < eps < 0.5:
+        raise ConfigurationError(f"eps must be in (0, 0.5), got {eps}")
+
+
+def two_tournament_schedule(phi: float, eps: float) -> TwoTournamentSchedule:
+    """Compute the Algorithm 1 schedule for the ``eps``-approximate ``phi``-quantile.
+
+    Following Section 2.1: with ``h0 = 1 - (phi + eps)`` and
+    ``l0 = phi - eps``, the heavy side is the larger of the two; the
+    tournament repeatedly squares its mass until it falls below
+    ``T = 1/2 - eps``.  When the heavy side is already below ``T`` the
+    schedule is empty and Phase I is skipped.
+    """
+    _validate_phi_eps(phi, eps)
+    h0 = clamp(1.0 - (phi + eps), 0.0, 1.0)
+    l0 = clamp(phi - eps, 0.0, 1.0)
+    threshold = 0.5 - eps
+    if h0 >= l0:
+        direction, mass = "min", h0
+    else:
+        direction, mass = "max", l0
+
+    iterations: List[TwoTournamentIteration] = []
+    bound = two_tournament_iteration_bound(eps) + 8  # generous safety margin
+    index = 0
+    while mass > threshold:
+        if index >= bound:
+            raise ConfigurationError(
+                "two-tournament schedule exceeded its iteration bound; "
+                f"phi={phi}, eps={eps}"
+            )
+        nxt = mass * mass
+        if mass - nxt <= 0:
+            delta = 1.0
+        else:
+            delta = min(1.0, (mass - threshold) / (mass - nxt))
+        iterations.append(
+            TwoTournamentIteration(index=index, h_before=mass, h_after=nxt, delta=delta)
+        )
+        mass = nxt
+        index += 1
+    return TwoTournamentSchedule(
+        phi=phi,
+        eps=eps,
+        direction=direction,
+        h0=h0 if direction == "min" else l0,
+        threshold=threshold,
+        iterations=iterations,
+    )
+
+
+def two_tournament_iteration_bound(eps: float) -> int:
+    """Lemma 2.2: the number of Algorithm 1 iterations is <= log_{7/4}(4/eps) + 2."""
+    if not 0.0 < eps < 0.5:
+        raise ConfigurationError(f"eps must be in (0, 0.5), got {eps}")
+    return int(math.ceil(log_base(4.0 / eps, 7.0 / 4.0))) + 2
+
+
+def three_tournament_schedule(eps: float, n: int) -> ThreeTournamentSchedule:
+    """Compute the Algorithm 2 schedule for the ``eps``-approximate median.
+
+    ``l0 = h0 = 1/2 - eps`` and ``l_{i+1} = 3 l_i^2 - 2 l_i^3`` until
+    ``l_i <= T = n^{-1/3}``.
+    """
+    if n < 2:
+        raise ConfigurationError("n must be at least 2")
+    if not 0.0 < eps < 0.5:
+        raise ConfigurationError(f"eps must be in (0, 0.5), got {eps}")
+    l0 = 0.5 - eps
+    threshold = n ** (-1.0 / 3.0)
+    iterations: List[ThreeTournamentIteration] = []
+    bound = three_tournament_iteration_bound(eps, n) + 12  # safety margin
+    mass = l0
+    index = 0
+    while mass > threshold:
+        if index >= bound:
+            raise ConfigurationError(
+                "three-tournament schedule exceeded its iteration bound; "
+                f"eps={eps}, n={n}"
+            )
+        nxt = 3.0 * mass * mass - 2.0 * mass ** 3
+        iterations.append(
+            ThreeTournamentIteration(index=index, l_before=mass, l_after=nxt)
+        )
+        mass = nxt
+        index += 1
+    return ThreeTournamentSchedule(
+        eps=eps, n=n, l0=l0, threshold=threshold, iterations=iterations
+    )
+
+
+def three_tournament_iteration_bound(eps: float, n: int) -> int:
+    """Lemma 2.12: iterations <= log_{11/8}(1/(4 eps)) + log_2 log_4 n."""
+    if n < 2:
+        raise ConfigurationError("n must be at least 2")
+    if not 0.0 < eps < 0.5:
+        raise ConfigurationError(f"eps must be in (0, 0.5), got {eps}")
+    first = max(0.0, log_base(1.0 / (4.0 * eps), 11.0 / 8.0))
+    log4n = math.log(n) / math.log(4.0)
+    second = max(0.0, math.log2(max(log4n, 1.0)))
+    return int(math.ceil(first + second)) + 1
+
+
+def approx_round_bound(eps: float, n: int, k_samples: int = 0) -> int:
+    """Total round bound of the two-phase approximate algorithm.
+
+    Two rounds per Phase-I iteration, three per Phase-II iteration, plus the
+    final ``K`` sampling rounds.  Used by the analysis/experiment modules as
+    the theoretical reference curve O(log log n + log 1/eps).
+    """
+    phase1 = 2 * two_tournament_iteration_bound(eps)
+    phase2 = 3 * three_tournament_iteration_bound(eps / 4.0, n)
+    return phase1 + phase2 + k_samples

@@ -1,0 +1,202 @@
+"""Step 7 of Algorithm 3: token split-and-distribute.
+
+Each valued node creates one token ``(item, m_i)`` whose weight ``m_i`` is a
+power of two.  The process has two stages, both made of phases that cost
+O(1) rounds w.h.p.:
+
+1. **Splitting** — every token of weight > 1 is split into two tokens of
+   half the weight; one stays, the other is pushed to a uniformly random
+   node.  After ``lg m_i = O(log n)`` phases all tokens have weight 1.
+2. **Spreading** — a node holding more than one token keeps one and pushes
+   every other token to a uniformly random node, until every node holds at
+   most one token.  Because at most ``n^{0.99}`` tokens exist, a pushed
+   token fails to land alone with probability ``O(n^{-0.01})`` and
+   ``O(log n)`` phases suffice w.h.p.
+
+Under the Section-5 failure model a failed push simply merges the two
+halves back (splitting stage) or keeps the token where it is (spreading
+stage), costing only a constant-factor slowdown (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.gossip.failures import FailureModel, resolve_failure_model
+from repro.gossip.messages import BITS_HEADER, BITS_PER_VALUE, id_bits
+from repro.gossip.metrics import NetworkMetrics
+from repro.utils.mathutils import is_power_of_two
+from repro.utils.rand import RandomSource
+
+
+@dataclass
+class TokenDistributionResult:
+    """Outcome of the split-and-distribute process.
+
+    ``owners`` maps each node to the item id of the token it ends up holding
+    (-1 for nodes without a token).  Each item id appears exactly
+    ``multiplicity`` times across ``owners``.
+    """
+
+    owners: np.ndarray
+    multiplicity: int
+    phases: int
+    rounds: int
+    metrics: NetworkMetrics
+    max_tokens_per_node: int
+    failed_pushes: int = 0
+
+    def copies_of(self, item: int) -> int:
+        return int(np.count_nonzero(self.owners == item))
+
+
+def distribute_tokens(
+    item_nodes: Union[Sequence[int], np.ndarray],
+    multiplicity: int,
+    n: int,
+    rng: Union[None, int, RandomSource] = None,
+    failure_model: Union[None, float, FailureModel] = None,
+    metrics: Optional[NetworkMetrics] = None,
+    max_phases: Optional[int] = None,
+) -> TokenDistributionResult:
+    """Duplicate each item ``multiplicity`` times across distinct nodes.
+
+    Parameters
+    ----------
+    item_nodes:
+        The node index currently holding each item (one entry per item; the
+        item's id is its position in this sequence).
+    multiplicity:
+        The power-of-two number of copies each item must end up with.
+    n:
+        Total number of nodes.
+    """
+    item_nodes = np.asarray(item_nodes, dtype=int)
+    if item_nodes.ndim != 1 or item_nodes.size == 0:
+        raise ConfigurationError("item_nodes must be a non-empty 1-d sequence")
+    if np.any(item_nodes < 0) or np.any(item_nodes >= n):
+        raise ConfigurationError("item_nodes must be valid node indices")
+    if not is_power_of_two(multiplicity):
+        raise ConfigurationError("multiplicity must be a power of two")
+    total_tokens = item_nodes.size * multiplicity
+    if total_tokens > n:
+        raise ConfigurationError(
+            f"cannot place {total_tokens} unit tokens on {n} nodes"
+        )
+
+    source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+    failures = resolve_failure_model(failure_model)
+    stats = metrics if metrics is not None else NetworkMetrics(keep_history=False)
+    rounds_before = stats.rounds
+    if max_phases is None:
+        max_phases = int(40 + 30 * np.log2(max(n, 2)))
+
+    message_bits = BITS_HEADER + BITS_PER_VALUE + id_bits(n)
+
+    # tokens[node] is a list of (item, weight) pairs held by that node.
+    tokens: List[List[List[int]]] = [[] for _ in range(n)]
+    for item, node in enumerate(item_nodes):
+        tokens[node].append([item, multiplicity])
+
+    phases = 0
+    failed_pushes = 0
+    max_tokens_seen = 1
+
+    def run_phase(push_plan: Dict[int, List[List[int]]]) -> int:
+        """Execute one phase: each node pushes its planned tokens, one per round.
+
+        Returns the number of rounds the phase costs (the maximum number of
+        pushes any single node performs).  A node that fails in a round
+        keeps the token it would have pushed.
+        """
+        nonlocal failed_pushes
+        if not push_plan:
+            return 0
+        rounds_needed = max(len(plan) for plan in push_plan.values())
+        for round_slot in range(rounds_needed):
+            record = stats.begin_round(label="token-distribution")
+            failed = failures.failure_mask(stats.rounds - 1, n, source)
+            stats.record_failures(int(failed.sum()), record)
+            for node, plan in push_plan.items():
+                if round_slot >= len(plan):
+                    continue
+                token = plan[round_slot]
+                if failed[node]:
+                    failed_pushes += 1
+                    tokens[node].append(token)
+                    continue
+                target = int(source.integers(0, n))
+                while target == node:
+                    target = int(source.integers(0, n))
+                stats.record_messages(1, message_bits, record)
+                tokens[target].append(token)
+        return rounds_needed
+
+    # ---- stage 1: split until every token has weight 1 ------------------------
+    while True:
+        if phases >= max_phases:
+            raise ConvergenceError("token splitting did not finish within its budget")
+        heavy_exists = any(
+            weight > 1 for node_tokens in tokens for _, weight in node_tokens
+        )
+        if not heavy_exists:
+            break
+        push_plan: Dict[int, List[List[int]]] = {}
+        for node in range(n):
+            keep: List[List[int]] = []
+            outgoing: List[List[int]] = []
+            for item, weight in tokens[node]:
+                if weight > 1:
+                    half = weight // 2
+                    keep.append([item, half])
+                    outgoing.append([item, half])
+                else:
+                    keep.append([item, weight])
+            tokens[node] = keep
+            if outgoing:
+                push_plan[node] = outgoing
+        max_tokens_seen = max(
+            max_tokens_seen, max(len(t) for t in tokens) if tokens else 0
+        )
+        run_phase(push_plan)
+        phases += 1
+
+    # ---- stage 2: spread until every node holds at most one token -------------
+    while True:
+        if phases >= max_phases:
+            raise ConvergenceError("token spreading did not finish within its budget")
+        overloaded = [node for node in range(n) if len(tokens[node]) > 1]
+        if not overloaded:
+            break
+        push_plan = {}
+        for node in overloaded:
+            extra = tokens[node][1:]
+            tokens[node] = tokens[node][:1]
+            push_plan[node] = extra
+        max_tokens_seen = max(max_tokens_seen, max(len(t) for t in tokens))
+        run_phase(push_plan)
+        phases += 1
+
+    owners = np.full(n, -1, dtype=int)
+    for node in range(n):
+        if tokens[node]:
+            owners[node] = tokens[node][0][0]
+
+    # Post-condition: every item has exactly `multiplicity` copies.
+    counts = np.bincount(owners[owners >= 0], minlength=item_nodes.size)
+    if not np.all(counts == multiplicity):
+        raise ConvergenceError("token distribution lost or duplicated tokens")
+
+    return TokenDistributionResult(
+        owners=owners,
+        multiplicity=multiplicity,
+        phases=phases,
+        rounds=stats.rounds - rounds_before,
+        metrics=stats,
+        max_tokens_per_node=max_tokens_seen,
+        failed_pushes=failed_pushes,
+    )

@@ -1,0 +1,111 @@
+"""Algorithm 1 — 2-TOURNAMENT: shift the target quantile band to the median.
+
+Every iteration each node pulls the values of two uniformly random nodes and
+adopts the *minimum* of the two (when the heavy side lies above the band;
+the symmetric case adopts the maximum).  This squares the fraction of nodes
+holding above-band values each iteration.  In the final iteration the
+tournament is only performed with probability ``delta`` so that the
+above-band mass lands at ``T = 1/2 - eps`` instead of overshooting, which
+places the entire band ``[phi - eps, phi + eps]`` onto the quantiles around
+the median (Lemma 2.11).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.results import PhaseIterationStats, TournamentPhaseResult
+from repro.core.schedules import TwoTournamentSchedule, two_tournament_schedule
+from repro.gossip.network import GossipNetwork
+from repro.utils.stats import empirical_quantile
+
+
+def band_thresholds(
+    initial_values: np.ndarray, phi: float, eps: float
+) -> Tuple[float, float]:
+    """Values bounding the target band ``[phi - eps, phi + eps]`` of the inputs."""
+    lo_q = max(0.0, phi - eps)
+    hi_q = min(1.0, phi + eps)
+    lo_value = empirical_quantile(initial_values, lo_q)
+    hi_value = empirical_quantile(initial_values, hi_q)
+    return lo_value, hi_value
+
+
+def measure_band(
+    values: np.ndarray, lo_value: float, hi_value: float
+) -> Tuple[float, float, float]:
+    """Fractions of ``values`` below, inside, and above ``[lo_value, hi_value]``."""
+    n = values.size
+    low = float(np.count_nonzero(values < lo_value)) / n
+    high = float(np.count_nonzero(values > hi_value)) / n
+    return low, 1.0 - low - high, high
+
+
+def run_two_tournament(
+    network: GossipNetwork,
+    phi: float,
+    eps: float,
+    schedule: Optional[TwoTournamentSchedule] = None,
+    track_band: bool = True,
+) -> TournamentPhaseResult:
+    """Run Algorithm 1 on ``network`` (in place) and return phase statistics.
+
+    The network's value array is overwritten with the post-phase values.
+    Nodes whose pull failed in a round (only possible when the network has a
+    failure model attached) keep their previous value for that iteration;
+    the failure-aware variant with the Section-5 guarantees lives in
+    :mod:`repro.core.robust`.
+    """
+    if schedule is None:
+        schedule = two_tournament_schedule(phi, eps)
+
+    initial = network.snapshot()
+    if track_band:
+        lo_value, hi_value = band_thresholds(initial, phi, eps)
+
+    stats = []
+    take_min = schedule.direction == "min"
+    for iteration in schedule.iterations:
+        current = network.snapshot()
+        batch = network.pull(2, label="2-tournament")
+        first = np.where(batch.ok[:, 0], batch.values[:, 0], current)
+        second = np.where(batch.ok[:, 1], batch.values[:, 1], current)
+        if take_min:
+            winners = np.minimum(first, second)
+        else:
+            winners = np.maximum(first, second)
+
+        if iteration.delta >= 1.0:
+            new_values = winners
+        else:
+            coin = network.rng.random(network.n)
+            do_tournament = coin < iteration.delta
+            # With probability 1 - delta the node copies a single random
+            # value instead (Algorithm 1, lines 9-11); we reuse the first
+            # pull for that copy, exactly one sampled value.
+            new_values = np.where(do_tournament, winners, first)
+
+        network.set_values(new_values)
+        if track_band:
+            low, band, high = measure_band(new_values, lo_value, hi_value)
+            heavy = high if take_min else low
+            stats.append(
+                PhaseIterationStats(
+                    iteration=iteration.index,
+                    predicted=iteration.h_after
+                    if iteration.delta >= 1.0
+                    else schedule.threshold,
+                    high_fraction=high,
+                    low_fraction=low,
+                    band_fraction=band,
+                )
+            )
+
+    return TournamentPhaseResult(
+        final_values=network.snapshot(),
+        iterations=schedule.num_iterations,
+        rounds=schedule.rounds,
+        stats=stats,
+    )

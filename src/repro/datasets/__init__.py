@@ -1,0 +1,22 @@
+"""Workload generators for experiments, examples and tests."""
+
+from repro.datasets.generators import (
+    adversarial_shifted,
+    distinct_uniform,
+    gaussian_values,
+    sensor_temperature_field,
+    uniform_values,
+    zipf_values,
+)
+from repro.datasets.workloads import WORKLOADS, make_workload
+
+__all__ = [
+    "adversarial_shifted",
+    "distinct_uniform",
+    "gaussian_values",
+    "sensor_temperature_field",
+    "uniform_values",
+    "zipf_values",
+    "WORKLOADS",
+    "make_workload",
+]

@@ -1,0 +1,126 @@
+"""Value generators.
+
+The paper assumes every node holds one O(log n)-bit value and (w.l.o.g.)
+that all values are distinct.  These generators produce the workloads used
+in the experiments: distinct permutations (the clean theoretical setting),
+continuous distributions (uniform, Gaussian, heavy-tailed Zipf), the
+adversarial two-scenario values of the lower bound, and the
+sensor-temperature field the introduction motivates.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rand import RandomSource
+
+
+def _rng(rng: Union[None, int, RandomSource]) -> RandomSource:
+    return rng if isinstance(rng, RandomSource) else RandomSource(rng)
+
+
+def _check_n(n: int) -> None:
+    if n < 2:
+        raise ConfigurationError("n must be at least 2")
+
+
+def distinct_uniform(n: int, rng: Union[None, int, RandomSource] = None) -> np.ndarray:
+    """A uniformly random permutation of {1, ..., n} (all values distinct)."""
+    _check_n(n)
+    return _rng(rng).permutation(np.arange(1, n + 1, dtype=float))
+
+
+def uniform_values(
+    n: int,
+    low: float = 0.0,
+    high: float = 1.0,
+    rng: Union[None, int, RandomSource] = None,
+) -> np.ndarray:
+    """Independent uniform values in ``[low, high)``."""
+    _check_n(n)
+    if high <= low:
+        raise ConfigurationError("high must exceed low")
+    source = _rng(rng)
+    return low + (high - low) * source.random(n)
+
+
+def gaussian_values(
+    n: int,
+    mean: float = 0.0,
+    std: float = 1.0,
+    rng: Union[None, int, RandomSource] = None,
+) -> np.ndarray:
+    """Independent Gaussian values."""
+    _check_n(n)
+    if std <= 0:
+        raise ConfigurationError("std must be positive")
+    source = _rng(rng)
+    return mean + std * source.generator.standard_normal(n)
+
+
+def zipf_values(
+    n: int,
+    exponent: float = 1.5,
+    rng: Union[None, int, RandomSource] = None,
+) -> np.ndarray:
+    """Heavy-tailed values (Zipf/Pareto-like), stressing skewed quantiles."""
+    _check_n(n)
+    if exponent <= 1.0:
+        raise ConfigurationError("exponent must exceed 1")
+    source = _rng(rng)
+    uniforms = np.clip(source.random(n), 1e-12, 1.0)
+    return (1.0 / uniforms) ** (1.0 / (exponent - 1.0))
+
+
+def adversarial_shifted(
+    n: int,
+    eps: float,
+    scenario: str = "a",
+    rng: Union[None, int, RandomSource] = None,
+) -> np.ndarray:
+    """The Theorem 1.3 adversarial values: {1..n} or the εn-shifted copy."""
+    _check_n(n)
+    if not 0.0 < eps < 0.5:
+        raise ConfigurationError("eps must be in (0, 0.5)")
+    if scenario not in ("a", "b"):
+        raise ConfigurationError("scenario must be 'a' or 'b'")
+    base = _rng(rng).permutation(np.arange(1, n + 1, dtype=float))
+    if scenario == "a":
+        return base
+    return base + int(np.floor(2 * eps * n))
+
+
+def sensor_temperature_field(
+    n: int,
+    base_temperature: float = 21.0,
+    gradient: float = 6.0,
+    noise_std: float = 0.8,
+    hot_spot_fraction: float = 0.05,
+    hot_spot_excess: float = 15.0,
+    rng: Union[None, int, RandomSource] = None,
+) -> np.ndarray:
+    """The introduction's motivating workload: a temperature sensor field.
+
+    Sensors are placed on a line across the monitored object; the
+    temperature has a smooth spatial gradient, Gaussian measurement noise
+    and a small cluster of overheating sensors (the "top 10% needs special
+    attention" scenario of the paper's introduction).
+    """
+    _check_n(n)
+    if not 0.0 <= hot_spot_fraction < 1.0:
+        raise ConfigurationError("hot_spot_fraction must be in [0, 1)")
+    source = _rng(rng)
+    positions = np.linspace(0.0, 1.0, n)
+    temperatures = (
+        base_temperature
+        + gradient * np.sin(np.pi * positions)
+        + noise_std * source.generator.standard_normal(n)
+    )
+    hot = int(round(hot_spot_fraction * n))
+    if hot > 0:
+        hot_idx = source.choice(np.arange(n), size=hot, replace=False)
+        temperatures[hot_idx] += hot_spot_excess * (0.5 + source.random(hot))
+    return temperatures

@@ -1,0 +1,57 @@
+"""Named workload registry used by the experiment runner and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from repro.datasets.generators import (
+    adversarial_shifted,
+    distinct_uniform,
+    gaussian_values,
+    sensor_temperature_field,
+    uniform_values,
+    zipf_values,
+)
+from repro.exceptions import ConfigurationError
+from repro.utils.rand import RandomSource
+
+WorkloadFactory = Callable[..., np.ndarray]
+
+WORKLOADS: Dict[str, WorkloadFactory] = {
+    "distinct": distinct_uniform,
+    "uniform": uniform_values,
+    "gaussian": gaussian_values,
+    "zipf": zipf_values,
+    "adversarial": adversarial_shifted,
+    "sensor": sensor_temperature_field,
+}
+
+
+def make_workload(
+    name: str,
+    n: int,
+    rng: Union[None, int, RandomSource] = None,
+    **kwargs,
+) -> np.ndarray:
+    """Instantiate a named workload.
+
+    Parameters
+    ----------
+    name:
+        One of ``distinct``, ``uniform``, ``gaussian``, ``zipf``,
+        ``adversarial``, ``sensor``.
+    n:
+        Number of nodes / values.
+    kwargs:
+        Extra parameters forwarded to the generator (e.g. ``eps`` and
+        ``scenario`` for the adversarial workload).
+    """
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return factory(n, rng=rng, **kwargs)

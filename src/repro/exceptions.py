@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an algorithm or simulator is configured inconsistently.
+
+    Examples include a quantile outside ``[0, 1]``, a negative node count,
+    or an approximation parameter that the algorithm cannot honour.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a gossip protocol violates the simulator's contract.
+
+    The engine raises this when a protocol sends messages outside its
+    declared budget, addresses a node that does not exist, or reports an
+    inconsistent termination state.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative algorithm fails to converge within its budget.
+
+    The exact quantile algorithm and the token distribution process both
+    have high-probability round bounds; if a run exceeds a generous multiple
+    of that bound the library raises this error rather than looping forever.
+    """
+
+
+class MessageSizeExceeded(ProtocolError):
+    """Raised when a protocol exceeds the per-message bit budget it declared."""
+
+    def __init__(self, used_bits: int, budget_bits: int) -> None:
+        super().__init__(
+            f"message of {used_bits} bits exceeds the declared budget of "
+            f"{budget_bits} bits"
+        )
+        self.used_bits = used_bits
+        self.budget_bits = budget_bits

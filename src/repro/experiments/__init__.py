@@ -1,0 +1,39 @@
+"""Experiment harness: one module per reproduced claim (see DESIGN.md).
+
+Every experiment module exposes a ``run(...)`` function returning a list of
+result-row dictionaries plus module-level ``COLUMNS`` describing the table
+layout.  The benchmarks under ``benchmarks/`` call the same ``run``
+functions with reduced parameters, so the tables in EXPERIMENTS.md can be
+regenerated either through pytest-benchmark or through the CLI
+(``python -m repro <experiment>``).
+"""
+
+from repro.experiments import (
+    ablations,
+    approx_rounds,
+    baselines_compare,
+    exact_rounds,
+    lower_bound,
+    message_size,
+    robustness,
+    schedule_validation,
+    self_rank,
+    token_distribution,
+)
+from repro.experiments.runner import ExperimentSpec, REGISTRY, run_experiment
+
+__all__ = [
+    "ablations",
+    "approx_rounds",
+    "baselines_compare",
+    "exact_rounds",
+    "lower_bound",
+    "message_size",
+    "robustness",
+    "schedule_validation",
+    "self_rank",
+    "token_distribution",
+    "ExperimentSpec",
+    "REGISTRY",
+    "run_experiment",
+]

@@ -1,0 +1,83 @@
+"""E2 — Theorem 1.2: approximate quantile rounds scale as O(log log n + log 1/ε).
+
+Two sweeps: rounds vs. n at fixed ε (the curve should be nearly flat — the
+log log n term), and rounds vs. ε at fixed n (the curve should grow
+linearly in log 1/ε).  Every row also reports the measured rank error so
+the ε guarantee can be checked alongside the round counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.theory import approx_rounds_reference
+from repro.core.approx_quantile import approximate_quantile
+from repro.datasets.generators import distinct_uniform
+from repro.utils.rand import RandomSource
+from repro.utils.stats import fraction_within_eps, rank_error
+
+COLUMNS = [
+    "n",
+    "phi",
+    "eps",
+    "trials",
+    "rounds",
+    "reference",
+    "rounds_per_reference",
+    "mean_error",
+    "max_error",
+    "success_fraction",
+    "node_success_fraction",
+]
+
+
+def run(
+    sizes: Sequence[int] = (512, 1024, 2048, 4096, 8192),
+    eps_values: Sequence[float] = (0.2, 0.1, 0.05),
+    phis: Sequence[float] = (0.5, 0.9),
+    trials: int = 3,
+    seed: int = 2,
+) -> List[Dict[str, float]]:
+    """Run experiment E2 and return one row per (n, eps, phi)."""
+    rng = RandomSource(seed)
+    rows: List[Dict[str, float]] = []
+    for n in sizes:
+        for eps in eps_values:
+            for phi in phis:
+                errors = []
+                rounds = []
+                node_success = []
+                successes = 0
+                for _ in range(trials):
+                    trial_rng = rng.child()
+                    values = distinct_uniform(n, rng=trial_rng.child())
+                    result = approximate_quantile(
+                        values, phi=phi, eps=eps, rng=trial_rng.child()
+                    )
+                    error = rank_error(values, result.estimate, phi)
+                    errors.append(error)
+                    rounds.append(result.rounds)
+                    successes += int(error <= eps + 1e-12)
+                    node_success.append(
+                        fraction_within_eps(values, result.estimates, phi, eps)
+                    )
+                reference = approx_rounds_reference(n, eps)
+                mean_rounds = float(np.mean(rounds))
+                rows.append(
+                    {
+                        "n": n,
+                        "phi": phi,
+                        "eps": eps,
+                        "trials": trials,
+                        "rounds": mean_rounds,
+                        "reference": reference,
+                        "rounds_per_reference": mean_rounds / reference,
+                        "mean_error": float(np.mean(errors)),
+                        "max_error": float(np.max(errors)),
+                        "success_fraction": successes / trials,
+                        "node_success_fraction": float(np.mean(node_success)),
+                    }
+                )
+    return rows

@@ -1,0 +1,95 @@
+"""E7 — head-to-head comparison of all approximate-quantile algorithms.
+
+At a fixed (n, ε, φ) the experiment runs the tournament algorithm, the
+direct-sampling baseline, the buffer-doubling baseline and the compacted
+doubling baseline on the same inputs and reports rounds, maximum message
+size and measured error.  The expected shape: the tournament algorithm uses
+the fewest rounds among the O(log n)-bit algorithms; sampling needs ~1/ε²
+more rounds; doubling matches the tournament's rounds only by inflating the
+message size by orders of magnitude; compaction sits in between.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines.compacted_doubling import compacted_doubling_quantile
+from repro.baselines.direct_sampling import sampling_quantile
+from repro.baselines.doubling import doubling_quantile
+from repro.core.approx_quantile import approximate_quantile
+from repro.datasets.generators import distinct_uniform
+from repro.gossip.messages import tournament_message_bits
+from repro.utils.rand import RandomSource
+from repro.utils.stats import rank_error
+
+COLUMNS = [
+    "algorithm",
+    "n",
+    "phi",
+    "eps",
+    "rounds",
+    "max_message_bits",
+    "mean_error",
+    "success_fraction",
+]
+
+
+def run(
+    n: int = 2048,
+    eps: float = 0.1,
+    phi: float = 0.75,
+    trials: int = 3,
+    seed: int = 7,
+) -> List[Dict[str, float]]:
+    """Run experiment E7 and return one row per algorithm."""
+    rng = RandomSource(seed)
+    records: Dict[str, Dict[str, List[float]]] = {
+        name: {"rounds": [], "bits": [], "errors": []}
+        for name in ("tournament", "sampling", "doubling", "compacted-doubling")
+    }
+    for _ in range(trials):
+        trial_rng = rng.child()
+        values = distinct_uniform(n, rng=trial_rng.child())
+
+        ours = approximate_quantile(values, phi=phi, eps=eps, rng=trial_rng.child())
+        records["tournament"]["rounds"].append(ours.rounds)
+        records["tournament"]["bits"].append(tournament_message_bits(n))
+        records["tournament"]["errors"].append(rank_error(values, ours.estimate, phi))
+
+        samp = sampling_quantile(values, phi=phi, eps=eps, rng=trial_rng.child())
+        records["sampling"]["rounds"].append(samp.rounds)
+        records["sampling"]["bits"].append(tournament_message_bits(n))
+        records["sampling"]["errors"].append(rank_error(values, samp.estimate, phi))
+
+        dbl = doubling_quantile(values, phi=phi, eps=eps, rng=trial_rng.child())
+        records["doubling"]["rounds"].append(dbl.rounds)
+        records["doubling"]["bits"].append(dbl.max_message_bits)
+        records["doubling"]["errors"].append(rank_error(values, dbl.estimate, phi))
+
+        cmp_ = compacted_doubling_quantile(
+            values, phi=phi, eps=eps, rng=trial_rng.child()
+        )
+        records["compacted-doubling"]["rounds"].append(cmp_.rounds)
+        records["compacted-doubling"]["bits"].append(cmp_.max_message_bits)
+        records["compacted-doubling"]["errors"].append(
+            rank_error(values, cmp_.estimate, phi)
+        )
+
+    rows: List[Dict[str, float]] = []
+    for name, data in records.items():
+        errors = np.array(data["errors"], dtype=float)
+        rows.append(
+            {
+                "algorithm": name,
+                "n": n,
+                "phi": phi,
+                "eps": eps,
+                "rounds": float(np.mean(data["rounds"])),
+                "max_message_bits": float(np.max(data["bits"])),
+                "mean_error": float(errors.mean()),
+                "success_fraction": float(np.mean(errors <= eps + 1e-12)),
+            }
+        )
+    return rows

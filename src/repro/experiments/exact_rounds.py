@@ -1,0 +1,86 @@
+"""E1 — Theorem 1.1: exact quantile in Θ(log n) rounds vs. Kempe's Θ(log² n).
+
+For each network size the experiment runs the tournament-based exact
+algorithm and the [KDG03] selection baseline on the same inputs and reports
+round counts, the normalised ratios rounds/log₂n and rounds/log₂²n, and the
+speed-up of the new algorithm.  The reproduction target is the *shape*:
+the tournament column grows linearly in log n (its normalised ratio stays
+roughly flat), the baseline grows quadratically, and the speed-up widens
+with n.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.kempe_quantile import kempe_exact_quantile
+from repro.core.exact_quantile import exact_quantile
+from repro.datasets.generators import distinct_uniform
+from repro.utils.rand import RandomSource
+from repro.utils.stats import empirical_quantile
+
+COLUMNS = [
+    "n",
+    "phi",
+    "trials",
+    "tournament_rounds",
+    "kempe_rounds",
+    "tournament_per_logn",
+    "kempe_per_log2n",
+    "speedup",
+    "tournament_correct",
+    "kempe_correct",
+]
+
+
+def run(
+    sizes: Sequence[int] = (256, 512, 1024, 2048, 4096),
+    phis: Sequence[float] = (0.5,),
+    trials: int = 3,
+    seed: int = 1,
+    fidelity: str = "idealized",
+) -> List[Dict[str, float]]:
+    """Run experiment E1 and return one row per (n, phi)."""
+    rng = RandomSource(seed)
+    rows: List[Dict[str, float]] = []
+    for n in sizes:
+        for phi in phis:
+            tournament_rounds = []
+            kempe_rounds = []
+            tournament_correct = 0
+            kempe_correct = 0
+            for _ in range(trials):
+                trial_rng = rng.child()
+                values = distinct_uniform(n, rng=trial_rng.child())
+                truth = empirical_quantile(values, phi)
+                ours = exact_quantile(
+                    values, phi=phi, rng=trial_rng.child(), fidelity=fidelity
+                )
+                base = kempe_exact_quantile(
+                    values, phi=phi, rng=trial_rng.child(), fidelity=fidelity
+                )
+                tournament_rounds.append(ours.rounds)
+                kempe_rounds.append(base.rounds)
+                tournament_correct += int(ours.value == truth)
+                kempe_correct += int(base.value == truth)
+            mean_ours = float(np.mean(tournament_rounds))
+            mean_kempe = float(np.mean(kempe_rounds))
+            log_n = math.log2(n)
+            rows.append(
+                {
+                    "n": n,
+                    "phi": phi,
+                    "trials": trials,
+                    "tournament_rounds": mean_ours,
+                    "kempe_rounds": mean_kempe,
+                    "tournament_per_logn": mean_ours / log_n,
+                    "kempe_per_log2n": mean_kempe / (log_n * log_n),
+                    "speedup": mean_kempe / mean_ours if mean_ours else float("nan"),
+                    "tournament_correct": tournament_correct / trials,
+                    "kempe_correct": kempe_correct / trials,
+                }
+            )
+    return rows

@@ -1,0 +1,88 @@
+"""E8 — Appendix A: message-size accounting across algorithms.
+
+For each (n, ε) the experiment reports the measured maximum message size of
+the tournament algorithm (a single value, O(log n) bits), the doubling
+baseline (Θ(log² n / ε²) bits) and the compacted doubling baseline
+(Θ((1/ε)(log log n + log 1/ε)) values), next to the asymptotic formulas.
+The expected shape: the tournament column is flat and tiny, doubling blows
+up quadratically in log n and 1/ε, compaction sits orders of magnitude
+below doubling but above the O(log n) budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.baselines.compacted_doubling import (
+    compacted_buffer_capacity,
+    compacted_doubling_quantile,
+)
+from repro.baselines.doubling import doubling_quantile, doubling_target_size
+from repro.core.approx_quantile import approximate_quantile
+from repro.datasets.generators import distinct_uniform
+from repro.gossip.messages import theoretical_message_bits, tournament_message_bits
+from repro.utils.rand import RandomSource
+
+COLUMNS = [
+    "n",
+    "eps",
+    "tournament_bits",
+    "doubling_bits",
+    "compacted_bits",
+    "doubling_over_tournament",
+    "compacted_over_tournament",
+    "doubling_formula",
+    "compacted_formula",
+]
+
+
+def run(
+    sizes: Sequence[int] = (512, 1024, 2048),
+    eps_values: Sequence[float] = (0.1, 0.05),
+    phi: float = 0.5,
+    seed: int = 8,
+    measure: bool = True,
+) -> List[Dict[str, float]]:
+    """Run experiment E8 and return one row per (n, eps).
+
+    With ``measure=True`` the doubling/compaction algorithms are actually
+    executed and their measured maximum message sizes reported; with
+    ``measure=False`` only the closed-form sizes are tabulated (used for
+    very large parameter combinations).
+    """
+    rng = RandomSource(seed)
+    rows: List[Dict[str, float]] = []
+    for n in sizes:
+        for eps in eps_values:
+            tournament_bits = float(tournament_message_bits(n))
+            if measure:
+                values = distinct_uniform(n, rng=rng.child())
+                # The tournament algorithm's message is always one value.
+                approximate_quantile(values, phi=phi, eps=eps, rng=rng.child())
+                doubling = doubling_quantile(values, phi=phi, eps=eps, rng=rng.child())
+                compacted = compacted_doubling_quantile(
+                    values, phi=phi, eps=eps, rng=rng.child()
+                )
+                doubling_bits = float(doubling.max_message_bits)
+                compacted_bits = float(compacted.max_message_bits)
+            else:
+                doubling_bits = float(
+                    theoretical_message_bits("doubling", n, eps)[0]
+                )
+                compacted_bits = float(
+                    theoretical_message_bits("compacted", n, eps)[0]
+                )
+            rows.append(
+                {
+                    "n": n,
+                    "eps": eps,
+                    "tournament_bits": tournament_bits,
+                    "doubling_bits": doubling_bits,
+                    "compacted_bits": compacted_bits,
+                    "doubling_over_tournament": doubling_bits / tournament_bits,
+                    "compacted_over_tournament": compacted_bits / tournament_bits,
+                    "doubling_formula": f"~{doubling_target_size(n, eps)} values",
+                    "compacted_formula": f"~{compacted_buffer_capacity(n, eps)} values",
+                }
+            )
+    return rows

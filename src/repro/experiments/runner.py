@@ -1,0 +1,140 @@
+"""Experiment registry and uniform runner used by the CLI and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.tables import format_table, rows_to_csv
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    ablations,
+    approx_rounds,
+    baselines_compare,
+    exact_rounds,
+    lower_bound,
+    message_size,
+    robustness,
+    schedule_validation,
+    self_rank,
+    token_distribution,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named experiment: its run function, columns, and description."""
+
+    name: str
+    claim: str
+    description: str
+    run: Callable[..., List[Dict[str, object]]]
+    columns: Sequence[str]
+
+
+REGISTRY: Dict[str, ExperimentSpec] = {
+    "exact-rounds": ExperimentSpec(
+        name="exact-rounds",
+        claim="Theorem 1.1",
+        description="Exact quantile rounds: tournament Θ(log n) vs Kempe Θ(log² n)",
+        run=exact_rounds.run,
+        columns=exact_rounds.COLUMNS,
+    ),
+    "approx-rounds": ExperimentSpec(
+        name="approx-rounds",
+        claim="Theorem 1.2",
+        description="Approximate quantile rounds: O(log log n + log 1/eps) and error ≤ eps",
+        run=approx_rounds.run,
+        columns=approx_rounds.COLUMNS,
+    ),
+    "lower-bound": ExperimentSpec(
+        name="lower-bound",
+        claim="Theorem 1.3",
+        description="Information-spreading floor Ω(log log n + log 1/eps)",
+        run=lower_bound.run,
+        columns=lower_bound.COLUMNS,
+    ),
+    "robustness": ExperimentSpec(
+        name="robustness",
+        claim="Theorem 1.4",
+        description="Robust approximate quantiles under per-round failures",
+        run=robustness.run,
+        columns=robustness.COLUMNS,
+    ),
+    "self-rank": ExperimentSpec(
+        name="self-rank",
+        claim="Corollary 1.5",
+        description="Every node estimates its own quantile to within O(eps)",
+        run=self_rank.run,
+        columns=self_rank.COLUMNS,
+    ),
+    "schedules": ExperimentSpec(
+        name="schedules",
+        claim="Lemmas 2.2 / 2.12",
+        description="Tournament schedule lengths and trajectory concentration",
+        run=schedule_validation.run,
+        columns=schedule_validation.COLUMNS,
+    ),
+    "baselines": ExperimentSpec(
+        name="baselines",
+        claim="Related work comparison",
+        description="Tournament vs sampling vs doubling vs compacted doubling",
+        run=baselines_compare.run,
+        columns=baselines_compare.COLUMNS,
+    ),
+    "message-size": ExperimentSpec(
+        name="message-size",
+        claim="Appendix A",
+        description="Per-message bit budgets across algorithms",
+        run=message_size.run,
+        columns=message_size.COLUMNS,
+    ),
+    "tokens": ExperimentSpec(
+        name="tokens",
+        claim="Algorithm 3, Step 7",
+        description="Token split-and-distribute phases and per-node load",
+        run=token_distribution.run,
+        columns=token_distribution.COLUMNS,
+    ),
+    "ablations": ExperimentSpec(
+        name="ablations",
+        claim="Design-choice ablations",
+        description="Truncated last iteration, Phase I, and final vote size K",
+        run=ablations.run,
+        columns=ablations.COLUMNS,
+    ),
+}
+
+
+def run_experiment(
+    name: str,
+    output: str = "table",
+    **kwargs,
+) -> str:
+    """Run a registered experiment and render its result rows.
+
+    Parameters
+    ----------
+    name:
+        Key in :data:`REGISTRY`.
+    output:
+        ``"table"`` (aligned text), ``"csv"``, or ``"rows"`` (repr of the raw
+        row dictionaries).
+    kwargs:
+        Forwarded to the experiment's ``run`` function (sizes, trials, ...).
+    """
+    try:
+        spec = REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+    rows = spec.run(**kwargs)
+    if output == "rows":
+        return repr(rows)
+    if output == "csv":
+        return rows_to_csv(rows, columns=spec.columns)
+    if output == "table":
+        title = f"[{spec.name}] {spec.claim}: {spec.description}"
+        return format_table(rows, columns=spec.columns, title=title)
+    raise ConfigurationError(f"unknown output format {output!r}")

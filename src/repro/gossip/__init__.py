@@ -1,0 +1,47 @@
+"""Uniform gossip network substrate.
+
+This subpackage implements the communication model the paper analyses:
+synchronous rounds in which every node contacts one uniformly random other
+node with a push or a pull, messages of O(log n) bits, and (optionally) the
+failure model of Section 5 in which node ``v`` fails in round ``i`` with a
+pre-determined probability ``p_{v,i} <= mu``.
+
+Two execution surfaces are provided:
+
+* :class:`~repro.gossip.network.GossipNetwork` — a vectorised *pull surface*
+  over a shared value array.  The tournament algorithms only ever pull a
+  value from a random node, so the whole round can be executed as a numpy
+  gather; the network keeps exact round / message / bit accounting.
+* :func:`~repro.gossip.engine.run_protocol` — a message-level engine for
+  protocols whose state is richer than a single value (push-sum, extrema
+  spreading, rumor broadcast, token distribution).
+"""
+
+from repro.gossip.failures import (
+    FailureModel,
+    NoFailures,
+    PerNodeFailures,
+    UniformFailures,
+)
+from repro.gossip.messages import Message, payload_bits
+from repro.gossip.metrics import NetworkMetrics, RoundRecord
+from repro.gossip.network import GossipNetwork, PullBatch
+from repro.gossip.protocol import Action, GossipProtocol
+from repro.gossip.engine import EngineResult, run_protocol
+
+__all__ = [
+    "FailureModel",
+    "NoFailures",
+    "UniformFailures",
+    "PerNodeFailures",
+    "Message",
+    "payload_bits",
+    "NetworkMetrics",
+    "RoundRecord",
+    "GossipNetwork",
+    "PullBatch",
+    "Action",
+    "GossipProtocol",
+    "EngineResult",
+    "run_protocol",
+]

@@ -1,0 +1,128 @@
+"""Synchronous round loop for message-level gossip protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ProtocolError
+from repro.gossip.failures import FailureModel, resolve_failure_model
+from repro.gossip.messages import payload_bits
+from repro.gossip.metrics import NetworkMetrics
+from repro.gossip.protocol import Action, GossipProtocol
+from repro.utils.rand import RandomSource
+
+
+@dataclass
+class EngineResult:
+    """Outcome of running a protocol to completion."""
+
+    outputs: List[Any]
+    metrics: NetworkMetrics
+    rounds: int
+    completed: bool
+    protocol_name: str = ""
+    extra: dict = field(default_factory=dict)
+
+
+def run_protocol(
+    protocol: GossipProtocol,
+    rng: Union[None, int, RandomSource] = None,
+    failure_model: Union[None, float, FailureModel] = None,
+    max_rounds: int = 10_000,
+    metrics: Optional[NetworkMetrics] = None,
+    raise_on_budget: bool = True,
+) -> EngineResult:
+    """Run ``protocol`` until it reports completion.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol instance (carries ``n``).
+    rng:
+        Seed or random source for partner selection and failures.
+    failure_model:
+        ``None``, a float ``mu`` or a :class:`FailureModel`.
+    max_rounds:
+        Safety budget; exceeded budgets raise :class:`ConvergenceError`
+        (or return ``completed=False`` when ``raise_on_budget`` is False).
+    metrics:
+        Optionally accumulate into an existing metrics object.
+    """
+    n = protocol.n
+    source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+    failures = resolve_failure_model(failure_model)
+    stats = metrics if metrics is not None else NetworkMetrics()
+
+    protocol.begin()
+    round_index = 0
+    completed = False
+    while round_index < max_rounds:
+        if protocol.is_done(round_index):
+            completed = True
+            break
+        record = stats.begin_round(label=protocol.name)
+        failed = failures.failure_mask(round_index, n, source)
+        stats.record_failures(int(failed.sum()), record)
+        partners = source.integers(0, n, size=n)
+        # re-draw self contacts (uniform among *other* nodes)
+        own = np.arange(n)
+        mask = partners == own
+        while np.any(mask):
+            partners[mask] = source.integers(0, n, size=int(mask.sum()))
+            mask = partners == own
+
+        actions: List[Optional[Action]] = [None] * n
+        for node in range(n):
+            if failed[node]:
+                continue
+            action = protocol.act(node, round_index)
+            if not isinstance(action, Action):
+                raise ProtocolError(
+                    f"{protocol.name}: act() must return an Action, got {action!r}"
+                )
+            actions[node] = action
+
+        # Deliveries.  Pushes and pull-responses both count as one message.
+        for node in range(n):
+            action = actions[node]
+            if action is None or action.kind == "idle":
+                continue
+            partner = int(partners[node])
+            if action.kind in ("push", "pushpull"):
+                bits = protocol.message_bits(action.payload)
+                if bits is None:
+                    bits = payload_bits(action.payload, n=n)
+                stats.record_messages(1, int(bits), record)
+                protocol.on_receive(partner, action.payload, node, "push", round_index)
+                protocol.on_send_success(node, round_index)
+            if action.kind in ("pull", "pushpull"):
+                response = protocol.serve_pull(partner, node, round_index)
+                bits = protocol.message_bits(response)
+                if bits is None:
+                    bits = payload_bits(response, n=n)
+                stats.record_messages(1, int(bits), record)
+                protocol.on_receive(node, response, partner, "pull", round_index)
+
+        protocol.end_round(round_index)
+        round_index += 1
+    else:  # pragma: no cover - loop exhausted without break
+        pass
+
+    if not completed:
+        if protocol.is_done(round_index):
+            completed = True
+        elif raise_on_budget:
+            raise ConvergenceError(
+                f"protocol {protocol.name!r} did not finish within {max_rounds} rounds"
+            )
+
+    return EngineResult(
+        outputs=protocol.outputs(),
+        metrics=stats,
+        rounds=round_index,
+        completed=completed,
+        protocol_name=protocol.name,
+    )

@@ -1,0 +1,153 @@
+"""Message representation and payload size accounting.
+
+The paper's standard gossip model allows each message to carry O(log n)
+bits.  To compare the tournament algorithms against the doubling and
+compaction baselines of Appendix A (whose messages are much larger) we
+account for message sizes explicitly.  The helpers here assign a bit cost
+to the payloads the library actually sends.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.utils.mathutils import ceil_log2
+
+
+# Number of bits we charge for one scalar value.  The paper assumes values
+# fit in O(log n) bits; we charge a fixed 64 bits per scalar (an IEEE double)
+# which is an upper bound for every workload shipped with the library and
+# keeps the accounting independent of n, so cross-n comparisons of message
+# *growth* (constant vs. 1/eps^2 vs. buffer-sized) remain meaningful.
+BITS_PER_VALUE = 64
+
+#: Bits charged for a floating point weight (push-sum weights, token weights).
+BITS_PER_WEIGHT = 64
+
+#: Bits charged for a small control header (message kind, phase number, ...).
+BITS_HEADER = 16
+
+
+def id_bits(n: int) -> int:
+    """Bits needed to address one of ``n`` nodes."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return max(1, ceil_log2(n))
+
+
+def payload_bits(payload: Any, n: Optional[int] = None) -> int:
+    """Estimate the number of bits needed to encode ``payload``.
+
+    The estimate is intentionally simple and conservative: scalars cost
+    :data:`BITS_PER_VALUE`, tuples and lists cost the sum of their parts,
+    ``None`` costs nothing beyond the header.  Every message additionally
+    pays :data:`BITS_HEADER` for framing and, when ``n`` is given, the
+    sender id.
+    """
+    bits = BITS_HEADER
+    if n is not None:
+        bits += id_bits(n)
+    bits += _payload_body_bits(payload)
+    return bits
+
+
+def _payload_body_bits(payload: Any) -> int:
+    if payload is None:
+        return 0
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length())
+    if isinstance(payload, float):
+        return BITS_PER_VALUE
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_body_bits(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(
+            _payload_body_bits(key) + _payload_body_bits(value)
+            for key, value in payload.items()
+        )
+    if isinstance(payload, str):
+        return 8 * len(payload)
+    if hasattr(payload, "message_bits"):
+        return int(payload.message_bits())
+    if hasattr(payload, "__len__"):
+        return BITS_PER_VALUE * len(payload)
+    return BITS_PER_VALUE
+
+
+@dataclass(frozen=True)
+class Message:
+    """One gossip message.
+
+    Attributes
+    ----------
+    sender, receiver:
+        Node indices in ``range(n)``.
+    payload:
+        Arbitrary protocol payload.
+    kind:
+        ``"push"`` for messages initiated by the sender, ``"pull"`` for the
+        response to a pull request.
+    round_index:
+        The synchronous round in which the message was delivered.
+    bits:
+        Accounted size of the message.
+    """
+
+    sender: int
+    receiver: int
+    payload: Any
+    kind: str
+    round_index: int
+    bits: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("push", "pull"):
+            raise ValueError(f"unknown message kind: {self.kind!r}")
+        if self.round_index < 0:
+            raise ValueError("round_index must be non-negative")
+
+
+def buffer_bits(length: int, bits_per_entry: int = BITS_PER_VALUE) -> int:
+    """Bit cost of a buffer message with ``length`` entries.
+
+    Used by the doubling / compaction baselines whose messages carry whole
+    buffers of sampled values.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return BITS_HEADER + length * bits_per_entry
+
+
+def tournament_message_bits(n: int) -> int:
+    """Message size of the tournament algorithms: one value + framing."""
+    return payload_bits(0.0, n=n)
+
+
+def theoretical_message_bits(
+    algorithm: str, n: int, eps: float
+) -> Tuple[int, str]:
+    """Paper-stated asymptotic message sizes, as concrete reference numbers.
+
+    Returns ``(bits, formula)``.  Used by experiment E8 to annotate measured
+    sizes with the asymptotic formula they should track.
+    """
+    if n <= 1:
+        raise ValueError("n must be at least 2")
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    log_n = math.log2(n)
+    if algorithm == "tournament":
+        return tournament_message_bits(n), "O(log n)"
+    if algorithm == "doubling":
+        entries = math.ceil(log_n / (eps * eps))
+        return buffer_bits(entries), "O(log^2 n / eps^2)"
+    if algorithm == "compacted":
+        entries = math.ceil((1.0 / eps) * (math.log2(max(2.0, log_n)) + math.log2(1.0 / eps)))
+        return buffer_bits(entries), "O((1/eps) log n (log log n + log 1/eps))"
+    if algorithm == "sampling":
+        return tournament_message_bits(n), "O(log n)"
+    raise ValueError(f"unknown algorithm: {algorithm!r}")

@@ -1,0 +1,220 @@
+"""The vectorised pull surface of the uniform gossip model.
+
+The tournament algorithms of the paper only ever *pull the current value of
+a uniformly random node*.  A :class:`GossipNetwork` therefore stores the
+current value of every node in a single numpy array and executes one round
+(all n nodes pull one random partner) as a single gather.  Round, message
+and bit accounting, and the Section-5 failure model, are applied per round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.gossip.failures import FailureModel, NoFailures, resolve_failure_model
+from repro.gossip.messages import tournament_message_bits
+from repro.gossip.metrics import NetworkMetrics
+from repro.utils.rand import RandomSource
+
+
+@dataclass
+class PullBatch:
+    """Result of ``k`` consecutive pull rounds.
+
+    Attributes
+    ----------
+    partners:
+        ``(n, k)`` integer array: the node contacted by each node in each of
+        the ``k`` rounds.
+    values:
+        ``(n, k)`` float array: the value held by that partner at the start
+        of the batch.  (Within one tournament iteration every pull reads the
+        partner's value *from the previous iteration*, so reading a snapshot
+        is exactly the paper's semantics.)
+    ok:
+        ``(n, k)`` boolean array: False where the pulling node failed in
+        that round and the pull therefore never happened.
+    """
+
+    partners: np.ndarray
+    values: np.ndarray
+    ok: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.partners.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.partners.shape[1]
+
+
+class GossipNetwork:
+    """A synchronous uniform gossip network over a shared value array.
+
+    Parameters
+    ----------
+    values:
+        Initial value of every node (length ``n``).
+    rng:
+        Seed or :class:`RandomSource` for partner selection and failures.
+    failure_model:
+        ``None`` (no failures), a float ``mu`` or a :class:`FailureModel`.
+    allow_self_contact:
+        Whether a node may contact itself (probability ``1/n``).  The
+        uniform gossip model in the paper contacts a uniformly random
+        *other* node; excluding self-contacts is the default.  Allowing them
+        changes nothing asymptotically and is occasionally convenient in
+        tests.
+    metrics:
+        Optionally share a :class:`NetworkMetrics` object with an enclosing
+        computation (the exact-quantile driver threads one metrics object
+        through all of its sub-protocols).
+    """
+
+    def __init__(
+        self,
+        values: Union[Sequence[float], np.ndarray],
+        rng: Union[None, int, RandomSource] = None,
+        failure_model: Union[None, float, FailureModel] = None,
+        allow_self_contact: bool = False,
+        metrics: Optional[NetworkMetrics] = None,
+        keep_history: bool = True,
+    ) -> None:
+        array = np.asarray(values, dtype=float).copy()
+        if array.ndim != 1:
+            raise ConfigurationError("values must be one-dimensional")
+        if array.size < 2:
+            raise ConfigurationError("a gossip network needs at least 2 nodes")
+        self._values = array
+        self._initial_values = array.copy()
+        self._n = array.size
+        self._rng = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+        self._failures = resolve_failure_model(failure_model)
+        self._allow_self = bool(allow_self_contact)
+        self.metrics = metrics if metrics is not None else NetworkMetrics(
+            keep_history=keep_history
+        )
+        self._message_bits = tournament_message_bits(self._n)
+
+    # -- basic properties ---------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def values(self) -> np.ndarray:
+        """The current value of every node (live view; treat as read-only)."""
+        return self._values
+
+    @property
+    def initial_values(self) -> np.ndarray:
+        """The values the network was constructed with (copy kept internally)."""
+        return self._initial_values
+
+    @property
+    def rng(self) -> RandomSource:
+        return self._rng
+
+    @property
+    def failure_model(self) -> FailureModel:
+        return self._failures
+
+    @property
+    def rounds(self) -> int:
+        """Number of synchronous rounds executed so far."""
+        return self.metrics.rounds
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the current values."""
+        return self._values.copy()
+
+    def set_values(self, values: Union[Sequence[float], np.ndarray]) -> None:
+        """Replace the value of every node (e.g. between algorithm phases)."""
+        array = np.asarray(values, dtype=float)
+        if array.shape != (self._n,):
+            raise ConfigurationError(
+                f"expected {self._n} values, got shape {array.shape}"
+            )
+        self._values = array.copy()
+
+    def reset(self) -> None:
+        """Restore the initial values and clear accumulated metrics."""
+        self._values = self._initial_values.copy()
+        self.metrics = NetworkMetrics(keep_history=self.metrics.keep_history)
+
+    # -- partner selection --------------------------------------------------------
+    def _sample_partners(self, k: int) -> np.ndarray:
+        partners = self._rng.uniform_partners(self._n, k)
+        if not self._allow_self:
+            # Re-draw self-contacts; a constant expected number of re-draws.
+            own = np.arange(self._n)[:, None]
+            mask = partners == own
+            while np.any(mask):
+                partners[mask] = self._rng.integers(0, self._n, size=int(mask.sum()))
+                mask = partners == own
+        return partners
+
+    # -- the pull surface ---------------------------------------------------------
+    def pull(
+        self,
+        k: int = 1,
+        label: str = "pull",
+        payload_bits: Optional[int] = None,
+        values: Optional[np.ndarray] = None,
+    ) -> PullBatch:
+        """Execute ``k`` pull rounds and return the pulled snapshot values.
+
+        Each of the ``k`` columns corresponds to one synchronous round in
+        which every node pulls the (start-of-batch) value of one uniformly
+        random node.  Nodes that fail in a round (per the failure model)
+        have ``ok = False`` for that round and receive no value (NaN).
+        """
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        source = self._values if values is None else np.asarray(values, dtype=float)
+        if source.shape != (self._n,):
+            raise ConfigurationError("values override must have length n")
+        bits = self._message_bits if payload_bits is None else int(payload_bits)
+
+        partners = self._sample_partners(k)
+        pulled = source[partners]
+        ok = np.ones((self._n, k), dtype=bool)
+        for column in range(k):
+            record = self.metrics.begin_round(label=label)
+            failed = self._failures.failure_mask(self.metrics.rounds - 1, self._n, self._rng)
+            ok[:, column] = ~failed
+            self.metrics.record_failures(int(failed.sum()), record)
+            # one request + one response per successful pull; we charge the
+            # response (which carries the value) at the protocol's bit cost.
+            successes = int((~failed).sum())
+            self.metrics.record_messages(successes, bits, record)
+        pulled = np.where(ok, pulled, np.nan)
+        return PullBatch(partners=partners, values=pulled, ok=ok)
+
+    def pull_values(self, k: int = 1, label: str = "pull") -> np.ndarray:
+        """Convenience wrapper returning only the ``(n, k)`` value array.
+
+        Only valid under :class:`NoFailures`; raises otherwise because the
+        caller would have no way to see which pulls failed.
+        """
+        if not isinstance(self._failures, NoFailures):
+            raise ConfigurationError(
+                "pull_values() hides failures; use pull() with a failure model"
+            )
+        return self.pull(k=k, label=label).values
+
+    def charge_rounds(self, count: int, label: str = "charged") -> None:
+        """Account for ``count`` rounds executed by an external sub-protocol."""
+        self.metrics.charge_rounds(count, label=label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GossipNetwork(n={self._n}, rounds={self.rounds}, "
+            f"failures={self._failures!r})"
+        )

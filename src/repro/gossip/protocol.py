@@ -1,0 +1,110 @@
+"""Protocol abstraction for the message-level gossip engine.
+
+Protocols that need richer per-node state than a single value (push-sum,
+extrema spreading, rumor broadcast) implement :class:`GossipProtocol`.  The
+engine (:mod:`repro.gossip.engine`) drives the synchronous rounds, selects
+uniform partners, applies the failure model and performs the accounting.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class Action:
+    """What a node wants to do in one round.
+
+    ``kind`` is ``"push"`` (send ``payload`` to a random node), ``"pull"``
+    (request the partner's payload), ``"pushpull"`` (do both with the same
+    partner, the classic anti-entropy exchange) or ``"idle"``.
+    """
+
+    kind: str
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("push", "pull", "pushpull", "idle"):
+            raise ValueError(f"unknown action kind: {self.kind!r}")
+
+    @staticmethod
+    def push(payload: Any) -> "Action":
+        return Action("push", payload)
+
+    @staticmethod
+    def pull() -> "Action":
+        return Action("pull")
+
+    @staticmethod
+    def pushpull(payload: Any) -> "Action":
+        return Action("pushpull", payload)
+
+    @staticmethod
+    def idle() -> "Action":
+        return Action("idle")
+
+
+class GossipProtocol(abc.ABC):
+    """Base class for message-level gossip protocols.
+
+    The engine calls, in order and once per round:
+
+    1. :meth:`act` for every node that did not fail, collecting actions;
+    2. delivery: pushes are delivered via :meth:`on_receive`; pulls are
+       answered by :meth:`serve_pull` on the contacted node and delivered to
+       the puller via :meth:`on_receive`;
+    3. :meth:`end_round`.
+
+    The engine stops when :meth:`is_done` returns True or the round budget
+    is exhausted.
+    """
+
+    #: Human-readable protocol name used for metrics labels.
+    name: str = "protocol"
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError("a gossip protocol needs at least 2 nodes")
+        self.n = n
+
+    # -- lifecycle ------------------------------------------------------------
+    def begin(self) -> None:
+        """Called once before the first round."""
+
+    @abc.abstractmethod
+    def act(self, node: int, round_index: int) -> Action:
+        """Return the action node ``node`` takes this round."""
+
+    def serve_pull(self, node: int, requester: int, round_index: int) -> Any:
+        """Payload node ``node`` returns when pulled by ``requester``.
+
+        Default: ``None``.  Protocols that support pulls override this.
+        """
+        return None
+
+    @abc.abstractmethod
+    def on_receive(
+        self, node: int, payload: Any, sender: int, kind: str, round_index: int
+    ) -> None:
+        """Deliver ``payload`` (from a push or a pull response) to ``node``."""
+
+    def on_send_success(self, node: int, round_index: int) -> None:
+        """Called after a node's push was delivered (it did not fail)."""
+
+    def end_round(self, round_index: int) -> None:
+        """Called after all deliveries of a round."""
+
+    @abc.abstractmethod
+    def is_done(self, round_index: int) -> bool:
+        """Whether the protocol has terminated after ``round_index`` rounds."""
+
+    @abc.abstractmethod
+    def outputs(self) -> List[Any]:
+        """Per-node outputs after termination."""
+
+    # -- accounting -----------------------------------------------------------
+    def message_bits(self, payload: Any) -> Optional[int]:
+        """Bit size of a payload; ``None`` means "use the default estimator"."""
+        return None

@@ -1,0 +1,21 @@
+"""Theorem 1.3 — the Ω(log log n + log 1/ε) lower bound harness.
+
+The lower bound argument plants ``Θ(εn)`` nodes with distinguishing values
+("good" nodes) and shows that spreading their information to every node —
+a prerequisite for answering correctly in either of the two scenarios —
+takes Ω(log log n + log 1/ε) rounds regardless of message size.  This
+subpackage builds the two scenarios and simulates the information-spreading
+process so the experiment can measure the number of rounds until no
+uninformed node remains.
+"""
+
+from repro.lowerbound.scenario import LowerBoundScenario, build_scenarios
+from repro.lowerbound.spreading import SpreadingResult, simulate_spreading, lower_bound_rounds
+
+__all__ = [
+    "LowerBoundScenario",
+    "build_scenarios",
+    "SpreadingResult",
+    "simulate_spreading",
+    "lower_bound_rounds",
+]

@@ -1,0 +1,74 @@
+"""The two-scenario construction of Theorem 1.3.
+
+Scenario A assigns the nodes the distinct values ``{1, ..., n}``; scenario B
+assigns ``{1 + ⌊2εn⌋, ..., n + ⌊2εn⌋}``.  The φ-quantiles of the two
+scenarios differ by at least ``⌊2εn⌋ ≥ εn`` ranks, so a node that has never
+seen a value from the distinguishing set
+
+    S = {1, ..., 1 + ⌊2εn⌋} ∪ {n + 1, ..., n + ⌊2εn⌋}
+
+cannot tell the scenarios apart and answers correctly with probability at
+most 1/2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LowerBoundScenario:
+    """The pair of value assignments plus the distinguishing set size."""
+
+    n: int
+    eps: float
+    shift: int
+    values_a: np.ndarray
+    values_b: np.ndarray
+
+    @property
+    def distinguishing_nodes(self) -> int:
+        """Number of initially informed ("good") nodes: 2·⌊2εn⌋."""
+        return 2 * self.shift
+
+    def distinguishing_mask(self, scenario: str = "a") -> np.ndarray:
+        """Boolean mask of nodes whose value belongs to the set ``S``."""
+        if scenario not in ("a", "b"):
+            raise ConfigurationError("scenario must be 'a' or 'b'")
+        values = self.values_a if scenario == "a" else self.values_b
+        low_cut = 1 + self.shift
+        high_cut = self.n
+        return (values <= low_cut) | (values > high_cut)
+
+
+def build_scenarios(n: int, eps: float, rng_permutation=None) -> LowerBoundScenario:
+    """Build the Theorem 1.3 scenario pair for ``n`` nodes and parameter ``eps``.
+
+    The theorem requires ``10 log n / n < eps < 1/8``; we validate the upper
+    bound strictly and the lower bound loosely (the experiment sweeps ``n``
+    small enough that the constant matters little).
+    """
+    if n < 16:
+        raise ConfigurationError("n must be at least 16")
+    if not 0.0 < eps < 0.125:
+        raise ConfigurationError("eps must be in (0, 1/8) for the lower bound")
+    if eps <= math.log(n) / n:
+        raise ConfigurationError("eps must exceed ~log(n)/n for the lower bound")
+    shift = int(math.floor(2 * eps * n))
+    if shift < 1:
+        raise ConfigurationError("eps * n too small: the distinguishing set is empty")
+    base = np.arange(1, n + 1, dtype=float)
+    if rng_permutation is not None:
+        base = rng_permutation.permutation(base)
+    return LowerBoundScenario(
+        n=n,
+        eps=eps,
+        shift=shift,
+        values_a=base.copy(),
+        values_b=base + shift,
+    )

@@ -1,0 +1,102 @@
+"""Information-spreading simulation for the Theorem 1.3 lower bound.
+
+A node is *good* once it has received (directly or transitively) a value
+from the distinguishing set; bad nodes cannot answer correctly with
+probability better than 1/2, **regardless of the algorithm and of the
+message size**.  The theorem shows the good set needs
+Ω(log log n + log 1/ε) rounds to cover all nodes; this module simulates the
+(most favourable) spreading process — in every round every node both pushes
+its knowledge to and pulls knowledge from a uniformly random node — and
+records how long full coverage takes, giving an empirical floor on the
+round complexity of *any* gossip algorithm for the problem.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rand import RandomSource
+
+
+@dataclass
+class SpreadingResult:
+    """Trajectory of the good-node fraction and the full-coverage round."""
+
+    n: int
+    eps: float
+    initial_good: int
+    rounds_to_all_good: int
+    good_history: List[int] = field(default_factory=list)
+
+    @property
+    def all_good(self) -> bool:
+        return self.good_history and self.good_history[-1] == self.n
+
+
+def lower_bound_rounds(n: int, eps: float) -> float:
+    """Theorem 1.3: the larger of ½·log log n and log₄(8/ε)."""
+    if n < 4:
+        raise ConfigurationError("n must be at least 4")
+    if not 0.0 < eps < 1.0:
+        raise ConfigurationError("eps must be in (0, 1)")
+    loglog = 0.5 * math.log2(max(2.0, math.log2(n)))
+    eps_term = math.log(8.0 / eps) / math.log(4.0)
+    return max(loglog, eps_term)
+
+
+def simulate_spreading(
+    n: int,
+    eps: float,
+    rng: Union[None, int, RandomSource] = None,
+    max_rounds: Optional[int] = None,
+) -> SpreadingResult:
+    """Simulate the spread of distinguishing information (push and pull).
+
+    Starts with ``2⌊2εn⌋`` good nodes.  In every round each node contacts a
+    uniformly random other node; knowledge flows in both directions (this
+    over-approximates any real algorithm, which is exactly what a lower
+    bound experiment needs).  Returns the number of rounds until every node
+    is good.
+    """
+    if n < 16:
+        raise ConfigurationError("n must be at least 16")
+    if not 0.0 < eps < 0.5:
+        raise ConfigurationError("eps must be in (0, 0.5)")
+    source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+    initial_good = min(n, max(1, 2 * int(math.floor(2 * eps * n))))
+    if max_rounds is None:
+        max_rounds = int(8 * (math.log2(n) + math.log2(1.0 / eps))) + 32
+
+    good = np.zeros(n, dtype=bool)
+    good[:initial_good] = True
+    history: List[int] = [int(good.sum())]
+
+    rounds = 0
+    while not np.all(good) and rounds < max_rounds:
+        partners = source.integers(0, n, size=n)
+        own = np.arange(n)
+        mask = partners == own
+        while np.any(mask):
+            partners[mask] = source.integers(0, n, size=int(mask.sum()))
+            mask = partners == own
+        # pull: I become good if my partner is good.
+        newly_good = good | good[partners]
+        # push: my partner becomes good if I am good.
+        pushed = np.zeros(n, dtype=bool)
+        np.logical_or.at(pushed, partners, good)
+        good = newly_good | pushed
+        rounds += 1
+        history.append(int(good.sum()))
+
+    return SpreadingResult(
+        n=n,
+        eps=eps,
+        initial_good=initial_good,
+        rounds_to_all_good=rounds if bool(np.all(good)) else max_rounds,
+        good_history=history,
+    )

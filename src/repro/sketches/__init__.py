@@ -1,0 +1,14 @@
+"""Quantile-sketch substrate used by the Appendix A baselines.
+
+The appendix reduces the message size of the buffer-doubling algorithm by
+compacting buffers the way streaming quantile sketches do: sort the buffer
+and keep every second element, doubling the weight of the survivors.  This
+subpackage implements that compactor, weighted rank queries over compacted
+buffers, and a simplified KLL-style mergeable sketch for comparison.
+"""
+
+from repro.sketches.compactor import CompactingBuffer, compact
+from repro.sketches.weighted_buffer import WeightedBuffer
+from repro.sketches.kll import KLLSketch
+
+__all__ = ["CompactingBuffer", "compact", "WeightedBuffer", "KLLSketch"]

@@ -1,0 +1,132 @@
+"""The compaction operation of Appendix A.1.
+
+``Compact(Z)`` leaves a buffer unchanged when it fits within the capacity
+``k``; otherwise it sorts the elements and keeps those at even positions,
+halving the buffer size and doubling the weight of every kept element.
+Lemma A.3 bounds the rank error introduced by one compaction by the
+pre-compaction weight, and Corollary A.4 bounds the cumulative error of the
+doubling algorithm with compaction by ``(n'/2k) log(n'/k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def compact(values: Sequence[float]) -> List[float]:
+    """One compaction: sort and keep the elements at even positions (1-based).
+
+    Keeping the even positions of the sorted order changes the rank of any
+    query point by at most 1 per compaction (before re-weighting), which is
+    the fact Lemma A.3 builds on.
+    """
+    ordered = sorted(values)
+    return ordered[1::2]
+
+
+@dataclass
+class CompactingBuffer:
+    """A weighted sample buffer with the Appendix A.1 compaction rule.
+
+    The buffer stores at most ``capacity`` elements, each representing
+    ``weight`` original samples.  Merging two buffers of equal weight
+    concatenates them and compacts if the result exceeds the capacity,
+    doubling the weight — exactly the update rule
+    ``S_v <- Compact(S_v ∪ S_t(v))`` of the appendix.
+    """
+
+    capacity: int
+    weight: int = 1
+    items: List[float] = field(default_factory=list)
+    compactions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 2:
+            raise ConfigurationError("capacity must be at least 2")
+        if self.weight < 1:
+            raise ConfigurationError("weight must be at least 1")
+
+    # -- construction -------------------------------------------------------------
+    @classmethod
+    def from_samples(cls, samples: Iterable[float], capacity: int) -> "CompactingBuffer":
+        buffer = cls(capacity=capacity)
+        items = list(float(s) for s in samples)
+        buffer.items = items
+        buffer._compact_if_needed()
+        return buffer
+
+    # -- size accounting ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def represented_samples(self) -> int:
+        """Number of original samples this buffer summarises."""
+        return self.weight * len(self.items)
+
+    def message_bits(self, bits_per_entry: int = 64) -> int:
+        """Bit cost of shipping this buffer in one gossip message."""
+        return 16 + bits_per_entry * len(self.items) + 32  # header + items + weight
+
+    # -- the appendix's merge rule --------------------------------------------------
+    def merge(self, other: "CompactingBuffer") -> None:
+        """``S_v <- Compact(S_v ∪ S_other)`` (Appendix A.1 update rule).
+
+        Both buffers must carry the same weight — the doubling algorithm
+        only ever merges buffers from the same round, which have equal
+        weight by construction.
+        """
+        if other.capacity != self.capacity:
+            raise ConfigurationError("cannot merge buffers with different capacities")
+        if other.weight != self.weight:
+            raise ConfigurationError(
+                f"cannot merge buffers of different weights "
+                f"({self.weight} vs {other.weight})"
+            )
+        self.items = sorted(self.items + other.items)
+        self._compact_if_needed()
+
+    def _compact_if_needed(self) -> None:
+        while len(self.items) > self.capacity:
+            self.items = compact(self.items)
+            self.weight *= 2
+            self.compactions += 1
+
+    # -- queries -------------------------------------------------------------------
+    def weighted_rank(self, value: float) -> int:
+        """Weighted number of represented samples that are <= ``value``."""
+        return self.weight * int(np.searchsorted(sorted(self.items), value, side="right"))
+
+    def quantile_of(self, value: float) -> float:
+        """Estimated quantile of ``value`` among the represented samples."""
+        total = self.represented_samples
+        if total == 0:
+            raise ConfigurationError("empty buffer has no quantiles")
+        return self.weighted_rank(value) / total
+
+    def query(self, phi: float) -> float:
+        """Estimated ``phi``-quantile of the represented samples."""
+        if not 0.0 <= phi <= 1.0:
+            raise ConfigurationError("phi must be in [0, 1]")
+        if not self.items:
+            raise ConfigurationError("empty buffer has no quantiles")
+        ordered = sorted(self.items)
+        index = min(len(ordered) - 1, max(0, int(np.ceil(phi * len(ordered))) - 1))
+        return ordered[index]
+
+
+def cumulative_rank_error_bound(total_samples: int, capacity: int) -> float:
+    """Corollary A.4: the rank error of the compacted buffer is at most
+    ``(n'/2k) log2(n'/k)`` where ``n'`` is the number of represented samples
+    and ``k`` the capacity."""
+    if total_samples < 1 or capacity < 1:
+        raise ConfigurationError("total_samples and capacity must be positive")
+    if total_samples <= capacity:
+        return 0.0
+    ratio = total_samples / capacity
+    return (total_samples / (2.0 * capacity)) * float(np.log2(ratio))

@@ -1,0 +1,140 @@
+"""A simplified KLL-style mergeable quantile sketch.
+
+The appendix discusses porting state-of-the-art streaming compactor schemes
+(Karnin-Lang-Liberty, FOCS 2016) into the gossip setting and concludes that
+even a lossless port cannot push the message size below
+``o(log n log log n)`` bits.  To make that comparison concrete the library
+ships a small, self-contained KLL-style sketch: a stack of compactor levels
+with capacities decaying geometrically from the top, supporting stream
+updates, merging, and rank / quantile queries.
+
+This is a faithful but simplified implementation (deterministic capacity
+schedule, random even/odd selection per compaction); it is used by the
+message-size experiment (E8) and as a reference for the compaction error
+bounds, not as a baseline for round complexity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sketches.weighted_buffer import WeightedBuffer
+from repro.utils.rand import RandomSource
+
+
+class KLLSketch:
+    """A mergeable quantile sketch with geometrically decaying compactors.
+
+    Parameters
+    ----------
+    k:
+        Capacity of the top (heaviest-weight) compactor.  The total space is
+        ``O(k)`` and the rank error is ``O(n / k)`` with high probability.
+    c:
+        Capacity decay rate per level (the KLL paper uses ~2/3).
+    """
+
+    def __init__(self, k: int = 64, c: float = 2.0 / 3.0, rng: Optional[RandomSource] = None) -> None:
+        if k < 4:
+            raise ConfigurationError("k must be at least 4")
+        if not 0.5 < c < 1.0:
+            raise ConfigurationError("c must be in (0.5, 1.0)")
+        self.k = int(k)
+        self.c = float(c)
+        self._rng = rng if rng is not None else RandomSource(0)
+        self._levels: List[List[float]] = [[]]
+        self._count = 0
+
+    # -- capacity schedule ---------------------------------------------------------
+    def _capacity(self, level: int) -> int:
+        """Capacity of ``level`` counted from the bottom (weight ``2^level``)."""
+        height = len(self._levels)
+        depth = height - 1 - level
+        return max(2, int(math.ceil(self.k * (self.c ** depth))))
+
+    # -- updates --------------------------------------------------------------------
+    def update(self, value: float) -> None:
+        """Insert one stream item."""
+        self._levels[0].append(float(value))
+        self._count += 1
+        self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.update(value)
+
+    def merge(self, other: "KLLSketch") -> None:
+        """Merge another sketch into this one (mergeable-summaries property)."""
+        if other.k != self.k:
+            raise ConfigurationError("cannot merge sketches with different k")
+        while len(self._levels) < len(other._levels):
+            self._levels.append([])
+        for level, items in enumerate(other._levels):
+            self._levels[level].extend(items)
+        self._count += other._count
+        self._compress()
+
+    def _compress(self) -> None:
+        level = 0
+        while level < len(self._levels):
+            if len(self._levels[level]) > self._capacity(level):
+                items = sorted(self._levels[level])
+                offset = int(self._rng.integers(0, 2))
+                survivors = items[offset::2]
+                self._levels[level] = []
+                if level + 1 >= len(self._levels):
+                    self._levels.append([])
+                self._levels[level + 1].extend(survivors)
+            level += 1
+
+    # -- queries ---------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of stream items summarised."""
+        return self._count
+
+    @property
+    def size(self) -> int:
+        """Number of stored items (the sketch's space footprint)."""
+        return sum(len(level) for level in self._levels)
+
+    def message_bits(self, bits_per_entry: int = 64) -> int:
+        """Bit cost of shipping the sketch in one gossip message."""
+        return 16 + bits_per_entry * self.size + 8 * len(self._levels)
+
+    def _as_weighted(self) -> WeightedBuffer:
+        buffer = WeightedBuffer()
+        for level, items in enumerate(self._levels):
+            weight = float(2 ** level)
+            for value in items:
+                buffer.add(value, weight)
+        return buffer
+
+    def rank(self, value: float) -> float:
+        """Estimated number of inserted items that are <= ``value``."""
+        if self._count == 0:
+            raise ConfigurationError("empty sketch has no ranks")
+        return self._as_weighted().rank(value)
+
+    def quantile_of(self, value: float) -> float:
+        if self._count == 0:
+            raise ConfigurationError("empty sketch has no quantiles")
+        return self.rank(value) / self._count
+
+    def query(self, phi: float) -> float:
+        """Estimated ``phi``-quantile of the inserted items."""
+        if not 0.0 <= phi <= 1.0:
+            raise ConfigurationError("phi must be in [0, 1]")
+        if self._count == 0:
+            raise ConfigurationError("empty sketch has no quantiles")
+        return self._as_weighted().query(phi)
+
+    def error_bound(self) -> float:
+        """A crude high-probability additive rank-error bound, O(count / k)."""
+        if self._count == 0:
+            return 0.0
+        return 3.0 * self._count / float(self.k)

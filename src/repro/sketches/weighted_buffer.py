@@ -1,0 +1,78 @@
+"""Weighted multiset with rank / quantile queries.
+
+A small utility used to reason about compacted buffers and the KLL sketch:
+it stores (value, weight) pairs and answers weighted rank and quantile
+queries exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class WeightedBuffer:
+    """A multiset of weighted values supporting rank and quantile queries."""
+
+    entries: List[Tuple[float, float]] = field(default_factory=list)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[float, float]]) -> "WeightedBuffer":
+        buffer = cls()
+        for value, weight in pairs:
+            buffer.add(float(value), float(weight))
+        return buffer
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        self.entries.append((float(value), float(weight)))
+
+    def extend(self, other: "WeightedBuffer") -> None:
+        self.entries.extend(other.entries)
+
+    @property
+    def total_weight(self) -> float:
+        return float(sum(weight for _, weight in self.entries))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def rank(self, value: float) -> float:
+        """Total weight of entries with value <= ``value``."""
+        return float(sum(weight for v, weight in self.entries if v <= value))
+
+    def quantile_of(self, value: float) -> float:
+        total = self.total_weight
+        if total <= 0:
+            raise ConfigurationError("empty buffer has no quantiles")
+        return self.rank(value) / total
+
+    def query(self, phi: float) -> float:
+        """The smallest value whose weighted rank reaches ``phi`` of the total."""
+        if not 0.0 <= phi <= 1.0:
+            raise ConfigurationError("phi must be in [0, 1]")
+        if not self.entries:
+            raise ConfigurationError("empty buffer has no quantiles")
+        ordered = sorted(self.entries)
+        total = self.total_weight
+        target = phi * total
+        running = 0.0
+        for value, weight in ordered:
+            running += weight
+            if running >= target:
+                return value
+        return ordered[-1][0]
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.entries:
+            return np.empty(0), np.empty(0)
+        ordered = sorted(self.entries)
+        values = np.array([v for v, _ in ordered], dtype=float)
+        weights = np.array([w for _, w in ordered], dtype=float)
+        return values, weights

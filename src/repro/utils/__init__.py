@@ -1,0 +1,34 @@
+"""Shared low-level utilities: seeded randomness, math helpers, statistics."""
+
+from repro.utils.rand import RandomSource, spawn_rngs
+from repro.utils.mathutils import (
+    ceil_log2,
+    ceil_pow2,
+    clamp,
+    is_power_of_two,
+    log_base,
+    message_bits_for_value,
+)
+from repro.utils.stats import (
+    empirical_quantile,
+    quantile_of_value,
+    rank_error,
+    rank_of_value,
+    value_at_rank,
+)
+
+__all__ = [
+    "RandomSource",
+    "spawn_rngs",
+    "ceil_log2",
+    "ceil_pow2",
+    "clamp",
+    "is_power_of_two",
+    "log_base",
+    "message_bits_for_value",
+    "empirical_quantile",
+    "quantile_of_value",
+    "rank_error",
+    "rank_of_value",
+    "value_at_rank",
+]

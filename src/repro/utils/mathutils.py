@@ -1,0 +1,102 @@
+"""Small mathematical helpers shared across the library."""
+
+from __future__ import annotations
+
+import math
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty interval: low={low} > high={high}")
+    return max(low, min(high, value))
+
+
+def ceil_log2(value: float) -> int:
+    """Return ``ceil(log2(value))`` for positive ``value``; 0 for value <= 1."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    if value <= 1:
+        return 0
+    return int(math.ceil(math.log2(value)))
+
+
+def ceil_pow2(value: float) -> int:
+    """Return the smallest power of two that is >= ``value`` (at least 1)."""
+    if value <= 1:
+        return 1
+    return 1 << ceil_log2(value)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log_base(value: float, base: float) -> float:
+    """Return ``log_base(value)`` with input validation."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    if base <= 0 or base == 1:
+        raise ValueError("base must be positive and different from 1")
+    return math.log(value) / math.log(base)
+
+
+def log_log(value: float) -> float:
+    """Return ``log2(log2(value))``, clamped below at 0 (defined for value > 1)."""
+    if value <= 1:
+        return 0.0
+    inner = math.log2(value)
+    if inner <= 1:
+        return 0.0
+    return math.log2(inner)
+
+
+def message_bits_for_value(n: int, value_bits: int = 0) -> int:
+    """Bits needed for one gossip message carrying a node id and one value.
+
+    The paper's standard model allows O(log n)-bit messages.  A message that
+    carries a single value of ``value_bits`` bits (defaulting to
+    ``ceil(log2(n))``, the paper's assumption that values fit in O(log n)
+    bits) plus a constant-size header costs ``value_bits + ceil(log2(n))``
+    bits; we return that quantity so protocols can account for their
+    communication exactly.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    id_bits = max(1, ceil_log2(n))
+    if value_bits <= 0:
+        value_bits = id_bits
+    return id_bits + value_bits
+
+
+def harmonic_number(k: int) -> float:
+    """Return the k-th harmonic number H_k."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return sum(1.0 / i for i in range(1, k + 1))
+
+
+def binomial_tail_bound(n: int, p: float, k: int) -> float:
+    """Crude union/Chernoff-style upper bound on P[Bin(n, p) >= k].
+
+    Used only for sanity checks in the analysis module, never inside the
+    algorithms themselves.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    mean = n * p
+    if k <= mean:
+        return 1.0
+    # multiplicative Chernoff: P[X >= (1+d)mu] <= exp(-d^2 mu / 3) for d <= 1,
+    # exp(-d mu / 3) for d > 1.
+    if mean == 0:
+        return 0.0
+    delta = k / mean - 1.0
+    if delta <= 1.0:
+        return math.exp(-delta * delta * mean / 3.0)
+    return math.exp(-delta * mean / 3.0)

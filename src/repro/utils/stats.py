@@ -1,0 +1,116 @@
+"""Rank and quantile helpers.
+
+The paper works with ranks over the multiset of node values: the
+``phi``-quantile is the ``ceil(phi * n)``-th smallest value.  These helpers
+centralise that convention so the algorithms, the analysis code and the
+tests all agree on the definition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def _as_array(values: ArrayLike) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
+    return arr
+
+
+def target_rank(n: int, phi: float) -> int:
+    """The paper's target rank for the exact ``phi``-quantile: ``ceil(phi*n)``.
+
+    Clamped into ``[1, n]`` so that ``phi = 0`` selects the minimum and
+    ``phi = 1`` the maximum.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0.0 <= phi <= 1.0:
+        raise ValueError("phi must be in [0, 1]")
+    return int(min(n, max(1, math.ceil(phi * n))))
+
+
+def value_at_rank(values: ArrayLike, rank: int) -> float:
+    """Return the ``rank``-th smallest value (1-indexed)."""
+    arr = _as_array(values)
+    if not 1 <= rank <= arr.size:
+        raise ValueError(f"rank {rank} out of range 1..{arr.size}")
+    return float(np.partition(arr, rank - 1)[rank - 1])
+
+
+def empirical_quantile(values: ArrayLike, phi: float) -> float:
+    """Return the exact ``phi``-quantile of ``values`` (paper convention)."""
+    arr = _as_array(values)
+    return value_at_rank(arr, target_rank(arr.size, phi))
+
+
+def rank_of_value(values: ArrayLike, value: float) -> int:
+    """Number of elements of ``values`` that are <= ``value``."""
+    arr = _as_array(values)
+    return int(np.count_nonzero(arr <= value))
+
+
+def quantile_of_value(values: ArrayLike, value: float) -> float:
+    """The quantile (rank divided by n) of ``value`` within ``values``."""
+    arr = _as_array(values)
+    return rank_of_value(arr, value) / arr.size
+
+
+def rank_error(values: ArrayLike, estimate: float, phi: float) -> float:
+    """Quantile error of ``estimate`` as an approximation of the phi-quantile.
+
+    The estimate occupies the rank band ``[rank_lo, rank_hi]`` in ``values``
+    (``rank_lo`` counts strictly smaller elements plus one, ``rank_hi``
+    counts elements ``<= estimate``).  The error is the distance, in
+    quantile units, from that band to the target rank ``ceil(phi n)``
+    (clamped to ``[1, n]``, matching the paper's definition of the exact
+    phi-quantile).  An estimate whose band contains the target rank has
+    error 0; this is the smallest ``eps`` for which the estimate is an
+    ``eps``-approximate phi-quantile.
+    """
+    arr = _as_array(values)
+    if not 0.0 <= phi <= 1.0:
+        raise ValueError("phi must be in [0, 1]")
+    n = arr.size
+    target = target_rank(n, phi)
+    rank_hi = int(np.count_nonzero(arr <= estimate))
+    rank_lo = int(np.count_nonzero(arr < estimate)) + 1
+    if rank_hi < rank_lo:
+        # estimate is not an element of values: its band collapses to the
+        # insertion point between rank_hi and rank_hi + 1.
+        rank_lo = rank_hi = max(1, rank_hi)
+    if rank_lo <= target <= rank_hi:
+        return 0.0
+    return float(min(abs(target - rank_lo), abs(target - rank_hi))) / n
+
+
+def within_eps(values: ArrayLike, estimate: float, phi: float, eps: float) -> bool:
+    """True iff ``estimate`` is an ``eps``-approximate ``phi``-quantile."""
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    return rank_error(values, estimate, phi) <= eps + 1e-12
+
+
+def max_rank_error(values: ArrayLike, estimates: ArrayLike, phi: float) -> float:
+    """Maximum rank error over a collection of per-node estimates."""
+    est = np.asarray(estimates, dtype=float)
+    return max(rank_error(values, float(e), phi) for e in est.ravel())
+
+
+def fraction_within_eps(
+    values: ArrayLike, estimates: ArrayLike, phi: float, eps: float
+) -> float:
+    """Fraction of per-node estimates that are eps-approximate phi-quantiles."""
+    est = np.asarray(estimates, dtype=float).ravel()
+    if est.size == 0:
+        raise ValueError("estimates must be non-empty")
+    good = sum(1 for e in est if within_eps(values, float(e), phi, eps))
+    return good / est.size

@@ -1,0 +1,90 @@
+"""Tests for the push-sum aggregation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.aggregates.push_sum import (
+    PushSumProtocol,
+    default_push_sum_rounds,
+    push_sum_average,
+    push_sum_sum,
+)
+from repro.exceptions import ConfigurationError
+from repro.gossip.engine import run_protocol
+
+
+def test_default_rounds_grow_with_n_and_accuracy():
+    assert default_push_sum_rounds(1024) > default_push_sum_rounds(64)
+    assert default_push_sum_rounds(256, 1e-6) > default_push_sum_rounds(256, 1e-2)
+    with pytest.raises(ConfigurationError):
+        default_push_sum_rounds(1)
+    with pytest.raises(ConfigurationError):
+        default_push_sum_rounds(10, 2.0)
+
+
+def test_push_sum_average_converges_to_true_average():
+    values = np.arange(1.0, 257.0)
+    result = push_sum_average(values, rng=1)
+    truth = values.mean()
+    assert np.all(np.abs(result.estimates - truth) / truth < 1e-3)
+    assert result.max_relative_spread < 1e-3
+
+
+def test_push_sum_sum_converges_to_true_sum():
+    values = np.arange(1.0, 129.0)
+    result = push_sum_sum(values, rng=2)
+    truth = values.sum()
+    assert abs(result.mean_estimate - truth) / truth < 1e-3
+
+
+def test_mass_conservation_invariant():
+    values = np.arange(1.0, 65.0)
+    protocol = PushSumProtocol(values, rounds=30)
+    initial_mass = protocol.total_mass
+    initial_weight = protocol.total_weight
+    run_protocol(protocol, rng=3, max_rounds=31)
+    assert protocol.total_mass == pytest.approx(initial_mass, rel=1e-9)
+    assert protocol.total_weight == pytest.approx(initial_weight, rel=1e-9)
+
+
+def test_mass_conservation_under_failures():
+    values = np.arange(1.0, 65.0)
+    protocol = PushSumProtocol(values, rounds=30)
+    initial_mass = protocol.total_mass
+    run_protocol(protocol, rng=4, failure_model=0.4, max_rounds=31)
+    assert protocol.total_mass == pytest.approx(initial_mass, rel=1e-9)
+
+
+def test_push_sum_with_failures_still_converges():
+    values = np.arange(1.0, 257.0)
+    rounds = default_push_sum_rounds(256) * 2
+    result = push_sum_average(values, rng=5, rounds=rounds, failure_model=0.3)
+    truth = values.mean()
+    assert abs(result.mean_estimate - truth) / truth < 1e-2
+
+
+def test_round_accounting():
+    values = np.arange(1.0, 65.0)
+    result = push_sum_average(values, rng=6, rounds=25)
+    assert result.rounds == 25
+    assert result.metrics.messages == 25 * 64
+
+
+def test_invalid_inputs():
+    with pytest.raises(ConfigurationError):
+        PushSumProtocol([1.0])
+    with pytest.raises(ConfigurationError):
+        PushSumProtocol(np.ones((2, 2)))
+    with pytest.raises(ConfigurationError):
+        PushSumProtocol(np.arange(4.0), weights=np.arange(3.0))
+    with pytest.raises(ConfigurationError):
+        PushSumProtocol(np.arange(4.0), weights=np.array([-1.0, 1.0, 1.0, 1.0]))
+    with pytest.raises(ConfigurationError):
+        PushSumProtocol(np.arange(4.0), rounds=0)
+
+
+def test_message_bits_constant_per_message():
+    protocol = PushSumProtocol(np.arange(16.0), rounds=5)
+    bits = protocol.message_bits((1.0, 0.5))
+    assert bits == protocol.message_bits((100.0, 2.0))
+    assert bits > 64

@@ -1,0 +1,113 @@
+"""Tests for the analysis helpers (theory curves, empirics, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.empirics import (
+    TrialSummary,
+    geometric_means,
+    measure_approx_trial,
+    success_fraction,
+    summarize_errors,
+)
+from repro.analysis.tables import format_table, rows_to_csv
+from repro.analysis.theory import (
+    approx_rounds_reference,
+    doubling_rounds_reference,
+    exact_rounds_reference,
+    kempe_rounds_reference,
+    lower_bound_reference,
+    robust_slowdown_reference,
+    sampling_rounds_reference,
+)
+from repro.datasets.generators import distinct_uniform
+from repro.exceptions import ConfigurationError
+
+
+def test_reference_curves_have_the_right_shapes():
+    # exact vs kempe: quadratic separation
+    assert kempe_rounds_reference(4096) == pytest.approx(exact_rounds_reference(4096) ** 2)
+    # approx reference barely grows with n, grows linearly with log 1/eps
+    assert approx_rounds_reference(1 << 20, 0.1) - approx_rounds_reference(1 << 10, 0.1) < 1.1
+    assert approx_rounds_reference(1024, 0.01) > approx_rounds_reference(1024, 0.1) + 3
+    # sampling is 1/eps^2
+    assert sampling_rounds_reference(1024, 0.05) == pytest.approx(
+        4 * sampling_rounds_reference(1024, 0.1)
+    )
+    # doubling reference is doubly logarithmic
+    assert doubling_rounds_reference(1 << 16, 0.1) < 25
+    # lower bound grows with both parameters
+    assert lower_bound_reference(1 << 16, 0.1) >= lower_bound_reference(256, 0.1)
+    assert lower_bound_reference(1024, 0.01) > lower_bound_reference(1024, 0.1)
+
+
+def test_reference_validation():
+    with pytest.raises(ConfigurationError):
+        exact_rounds_reference(1)
+    with pytest.raises(ConfigurationError):
+        approx_rounds_reference(1024, 0.0)
+    with pytest.raises(ConfigurationError):
+        robust_slowdown_reference(1.0)
+
+
+def test_robust_slowdown_reference():
+    assert robust_slowdown_reference(0.0) == 1.0
+    assert robust_slowdown_reference(0.5) > 1.0
+    assert robust_slowdown_reference(0.9) > robust_slowdown_reference(0.5)
+
+
+def test_measure_approx_trial_and_summaries():
+    values = distinct_uniform(512, rng=1)
+    trial = measure_approx_trial(values, phi=0.5, eps=0.15, rng=2)
+    assert trial.n == 512
+    assert trial.error <= 0.15
+    assert trial.succeeded
+
+    trials = [trial, TrialSummary(512, 0.5, 0.15, 40, 0.3, 0.5, False)]
+    assert success_fraction(trials) == 0.5
+    summary = summarize_errors(trials)
+    assert summary["trials"] == 2
+    assert summary["max_error"] == 0.3
+    assert summary["success_fraction"] == 0.5
+
+
+def test_summaries_require_trials():
+    with pytest.raises(ConfigurationError):
+        success_fraction([])
+    with pytest.raises(ConfigurationError):
+        summarize_errors([])
+
+
+def test_geometric_means():
+    rows = [{"x": 1.0}, {"x": 4.0}, {"x": 16.0}]
+    assert geometric_means(rows, "x") == pytest.approx(4.0)
+    with pytest.raises(ConfigurationError):
+        geometric_means([{"x": 0.0}], "x")
+
+
+def test_format_table_alignment_and_title():
+    rows = [{"n": 1024, "rounds": 41.5}, {"n": 2048, "rounds": 44.0}]
+    text = format_table(rows, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "n" in lines[1] and "rounds" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_column_subset_and_errors():
+    rows = [{"a": 1, "b": 2}]
+    text = format_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+    with pytest.raises(ConfigurationError):
+        format_table([])
+
+
+def test_rows_to_csv():
+    rows = [{"a": 1, "b": 0.5}, {"a": 2, "b": 1.0}]
+    csv_text = rows_to_csv(rows)
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,0.5"
+    assert lines[2] == "2,1"
+    with pytest.raises(ConfigurationError):
+        rows_to_csv([])

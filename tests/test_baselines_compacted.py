@@ -1,0 +1,61 @@
+"""Tests for the Appendix A.1 compacted doubling baseline."""
+
+import pytest
+
+from repro.baselines.compacted_doubling import (
+    compacted_buffer_capacity,
+    compacted_doubling_quantile,
+)
+from repro.baselines.doubling import doubling_quantile
+from repro.exceptions import ConfigurationError
+from repro.utils.stats import rank_error
+
+
+def test_capacity_formula_monotone():
+    assert compacted_buffer_capacity(1024, 0.05) > compacted_buffer_capacity(1024, 0.2)
+    assert compacted_buffer_capacity(1 << 20, 0.1) >= compacted_buffer_capacity(256, 0.1)
+    with pytest.raises(ConfigurationError):
+        compacted_buffer_capacity(1, 0.1)
+
+
+def test_estimates_within_eps(small_values):
+    result = compacted_doubling_quantile(small_values, phi=0.6, eps=0.1, rng=1)
+    assert rank_error(small_values, result.estimate, 0.6) <= 0.1 + 0.05
+    errors = [rank_error(small_values, float(v), 0.6) for v in result.estimates]
+    assert sum(e <= 0.2 for e in errors) / len(errors) > 0.9
+
+
+def test_message_size_much_smaller_than_plain_doubling(small_values):
+    plain = doubling_quantile(small_values, phi=0.5, eps=0.05, rng=2)
+    compacted = compacted_doubling_quantile(small_values, phi=0.5, eps=0.05, rng=2)
+    assert compacted.max_message_bits < plain.max_message_bits / 2
+    # but compaction still represents as many samples as plain doubling
+    assert compacted.represented_samples >= plain.buffer_size / 2
+
+
+def test_buffer_never_exceeds_capacity(small_values):
+    result = compacted_doubling_quantile(small_values, phi=0.5, eps=0.1, rng=3)
+    # message bits ~ capacity entries; allow header slack
+    assert result.max_message_bits <= 64 * result.capacity + 64
+
+
+def test_rounds_are_doubly_logarithmic(small_values):
+    result = compacted_doubling_quantile(small_values, phi=0.5, eps=0.1, rng=4)
+    assert result.rounds <= 20
+
+
+def test_explicit_capacity_and_target(small_values):
+    result = compacted_doubling_quantile(
+        small_values, phi=0.5, eps=0.2, rng=5, capacity=32, target_samples=200
+    )
+    assert result.capacity == 32
+    assert result.represented_samples >= 200
+
+
+def test_validation(small_values):
+    with pytest.raises(ConfigurationError):
+        compacted_doubling_quantile(small_values, phi=-0.1, eps=0.1)
+    with pytest.raises(ConfigurationError):
+        compacted_doubling_quantile(small_values, phi=0.5, eps=1.5)
+    with pytest.raises(ConfigurationError):
+        compacted_doubling_quantile([1.0], phi=0.5, eps=0.1)

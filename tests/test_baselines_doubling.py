@@ -1,0 +1,64 @@
+"""Tests for the Appendix A buffer-doubling baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.doubling import (
+    MAX_TOTAL_BUFFER_ENTRIES,
+    doubling_quantile,
+    doubling_target_size,
+)
+from repro.exceptions import ConfigurationError
+from repro.utils.stats import rank_error
+
+
+def test_target_size_formula():
+    assert doubling_target_size(1024, 0.1) == 1000
+    assert doubling_target_size(1024, 0.1, constant=2.0) == 2000
+    with pytest.raises(ConfigurationError):
+        doubling_target_size(1, 0.1)
+
+
+def test_estimates_within_eps(medium_values):
+    result = doubling_quantile(medium_values, phi=0.6, eps=0.1, rng=1)
+    assert rank_error(medium_values, result.estimate, 0.6) <= 0.1
+    errors = [rank_error(medium_values, float(v), 0.6) for v in result.estimates]
+    assert sum(e <= 0.12 for e in errors) / len(errors) > 0.9
+
+
+def test_rounds_are_doubly_logarithmic(medium_values):
+    result = doubling_quantile(medium_values, phi=0.5, eps=0.1, rng=2)
+    target = doubling_target_size(medium_values.size, 0.1)
+    # buffer doubles each round: rounds ~ log2(target) + 1
+    assert result.rounds <= math.ceil(math.log2(target)) + 2
+    assert result.buffer_size >= target
+
+
+def test_message_size_grows_with_buffer(medium_values):
+    fine = doubling_quantile(medium_values, phi=0.5, eps=0.1, rng=3)
+    coarse = doubling_quantile(medium_values, phi=0.5, eps=0.3, rng=3)
+    assert fine.max_message_bits > coarse.max_message_bits
+    # the max message carries about half the final buffer
+    assert fine.max_message_bits >= 64 * fine.buffer_size / 2
+
+
+def test_memory_guard():
+    import numpy as np
+
+    values = np.arange(float(MAX_TOTAL_BUFFER_ENTRIES // 100))[:70000]
+    with pytest.raises(ConfigurationError):
+        doubling_quantile(values, phi=0.5, eps=0.01)
+
+
+def test_explicit_target_size(small_values):
+    result = doubling_quantile(small_values, phi=0.5, eps=0.2, rng=4, target_size=64)
+    assert result.buffer_size >= 64
+    assert result.rounds <= 8
+
+
+def test_validation(small_values):
+    with pytest.raises(ConfigurationError):
+        doubling_quantile(small_values, phi=2.0, eps=0.1)
+    with pytest.raises(ConfigurationError):
+        doubling_quantile(small_values, phi=0.5, eps=0.0)

@@ -1,0 +1,40 @@
+"""Tests for the Doerr et al. median-rule baseline."""
+
+import pytest
+
+from repro.baselines.median_rule import median_rule
+from repro.exceptions import ConfigurationError
+
+
+def test_converges_near_the_median(medium_values):
+    result = median_rule(medium_values, rng=1)
+    assert abs(result.consensus_quantile - 0.5) < 0.1
+    assert result.consensus_fraction > 0.9
+
+
+def test_rounds_are_three_per_iteration(small_values):
+    result = median_rule(small_values, rng=2, iterations=10)
+    assert result.iterations == 10
+    assert result.rounds == 30
+
+
+def test_default_iterations_logarithmic(small_values):
+    result = median_rule(small_values, rng=3)
+    assert result.iterations <= 3 * 8 + 1  # 3 * log2(256)
+
+
+def test_under_failures_still_converges(medium_values):
+    result = median_rule(medium_values, rng=4, failure_model=0.3, constant=4.0)
+    assert abs(result.consensus_quantile - 0.5) < 0.15
+
+
+def test_values_remain_in_support(small_values):
+    result = median_rule(small_values, rng=5)
+    assert set(result.values.tolist()).issubset(set(small_values.tolist()))
+
+
+def test_validation(small_values):
+    with pytest.raises(ConfigurationError):
+        median_rule([1.0])
+    with pytest.raises(ConfigurationError):
+        median_rule(small_values, iterations=0)

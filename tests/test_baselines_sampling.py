@@ -1,0 +1,51 @@
+"""Tests for the direct-sampling baseline."""
+
+import pytest
+
+from repro.baselines.direct_sampling import sampling_quantile, sampling_rounds
+from repro.exceptions import ConfigurationError
+from repro.utils.stats import rank_error
+
+
+def test_sampling_rounds_formula():
+    assert sampling_rounds(1024, 0.1) == 1000
+    assert sampling_rounds(1024, 0.05) == 4000
+    with pytest.raises(ConfigurationError):
+        sampling_rounds(1, 0.1)
+    with pytest.raises(ConfigurationError):
+        sampling_rounds(100, 0.0)
+
+
+def test_estimates_within_eps(medium_values):
+    result = sampling_quantile(medium_values, phi=0.7, eps=0.1, rng=1, max_observers=64)
+    assert rank_error(medium_values, result.estimate, 0.7) <= 0.1
+    errors = [rank_error(medium_values, float(v), 0.7) for v in result.estimates]
+    assert sum(e <= 0.1 for e in errors) / len(errors) > 0.9
+
+
+def test_rounds_blow_up_quadratically_in_one_over_eps(medium_values):
+    coarse = sampling_quantile(medium_values, phi=0.5, eps=0.2, rng=2, max_observers=8)
+    fine = sampling_quantile(medium_values, phi=0.5, eps=0.05, rng=3, max_observers=8)
+    assert fine.rounds == pytest.approx(coarse.rounds * 16, rel=0.01)
+
+
+def test_observer_cap(medium_values):
+    result = sampling_quantile(medium_values, phi=0.5, eps=0.2, rng=4, max_observers=16)
+    assert result.observers == 16
+    assert result.estimates.shape == (16,)
+    # round/message accounting still covers all n nodes
+    assert result.metrics.messages == result.rounds * medium_values.size
+
+
+def test_explicit_round_override(small_values):
+    result = sampling_quantile(small_values, phi=0.5, eps=0.2, rng=5, rounds=50)
+    assert result.rounds == 50
+
+
+def test_validation(small_values):
+    with pytest.raises(ConfigurationError):
+        sampling_quantile(small_values, phi=1.5, eps=0.1)
+    with pytest.raises(ConfigurationError):
+        sampling_quantile(small_values, phi=0.5, eps=0.0)
+    with pytest.raises(ConfigurationError):
+        sampling_quantile([1.0], phi=0.5, eps=0.1)

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_no_command_prints_help_and_fails(capsys):
+    assert main([]) == 1
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "exact-rounds" in out
+    assert "Theorem 1.2" in out
+
+
+def test_experiment_command_with_small_parameters(capsys):
+    assert main(["schedules", "--sizes", "256", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "phase1_iterations" in out
+
+
+def test_experiment_csv_output(capsys):
+    assert main(["tokens", "--sizes", "128", "--trials", "1", "--output", "csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("n,")
+
+
+def test_query_approximate(tmp_path, capsys):
+    values = np.arange(1.0, 513.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    assert main(["query", "--input", str(path), "--phi", "0.5", "--eps", "0.1", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "approximate 0.5-quantile" in out
+
+
+def test_query_exact(tmp_path, capsys):
+    values = np.arange(1.0, 257.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    assert main(["query", "--input", str(path), "--phi", "0.25", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "exact 0.25-quantile = 64.0" in out
+
+
+def test_unknown_command_errors():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

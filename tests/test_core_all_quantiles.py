@@ -1,0 +1,75 @@
+"""Tests for Corollary 1.5 (every node estimates its own quantile)."""
+
+import numpy as np
+import pytest
+
+from repro.core.all_quantiles import estimate_all_ranks, true_self_quantiles
+from repro.datasets.generators import distinct_uniform, zipf_values
+from repro.exceptions import ConfigurationError
+
+
+def test_true_self_quantiles_is_rank_over_n():
+    values = np.array([30.0, 10.0, 20.0, 40.0])
+    truth = true_self_quantiles(values)
+    assert np.allclose(truth, [0.75, 0.25, 0.5, 1.0])
+
+
+def test_self_rank_errors_are_bounded(medium_values):
+    eps = 0.1
+    result = estimate_all_ranks(medium_values, eps=eps, rng=1)
+    truth = true_self_quantiles(medium_values)
+    errors = np.abs(result.quantile_estimates - truth)
+    # Corollary 1.5: error O(eps); allow the grid-plus-query slack of 2 eps
+    assert float(np.mean(errors <= 2 * eps)) > 0.95
+    assert float(np.mean(errors)) < eps
+
+
+def test_grid_size_scales_with_one_over_eps(small_values):
+    coarse = estimate_all_ranks(small_values, eps=0.25, rng=2)
+    fine = estimate_all_ranks(small_values, eps=0.1, rng=3)
+    assert fine.grid.size > coarse.grid.size
+    assert fine.rounds > coarse.rounds
+
+
+def test_rounds_are_sum_of_grid_queries(small_values):
+    result = estimate_all_ranks(small_values, eps=0.2, rng=4)
+    assert result.rounds == result.metrics.rounds
+    assert result.grid_values.shape == (result.grid.size, small_values.size)
+
+
+def test_estimates_are_valid_quantiles(small_values):
+    result = estimate_all_ranks(small_values, eps=0.2, rng=5)
+    assert np.all(result.quantile_estimates >= 0.0)
+    assert np.all(result.quantile_estimates <= 1.0)
+
+
+def test_monotone_in_value(small_values):
+    """Nodes with larger values should not get systematically smaller ranks."""
+    result = estimate_all_ranks(small_values, eps=0.1, rng=6)
+    order = np.argsort(small_values)
+    estimates_sorted = result.quantile_estimates[order]
+    # allow local noise but require global monotone trend: compare first and
+    # last quartiles of the sorted estimates
+    q = small_values.size // 4
+    assert estimates_sorted[:q].mean() < estimates_sorted[-q:].mean()
+
+
+def test_works_on_skewed_data():
+    values = zipf_values(512, exponent=1.7, rng=7)
+    result = estimate_all_ranks(values, eps=0.1, rng=8)
+    truth = true_self_quantiles(values)
+    errors = np.abs(result.quantile_estimates - truth)
+    assert float(np.mean(errors <= 0.2)) > 0.9
+
+
+def test_validation_errors(small_values):
+    with pytest.raises(ConfigurationError):
+        estimate_all_ranks(small_values, eps=0.0)
+    with pytest.raises(ConfigurationError):
+        estimate_all_ranks(small_values, eps=0.6)
+    with pytest.raises(ConfigurationError):
+        estimate_all_ranks([1.0, 2.0], eps=0.1)
+    with pytest.raises(ConfigurationError):
+        estimate_all_ranks(small_values, eps=0.1, query_accuracy=0.0)
+    with pytest.raises(ConfigurationError):
+        true_self_quantiles([])

@@ -1,0 +1,105 @@
+"""Tests for the exact φ-quantile algorithm (Theorem 1.1 / Algorithm 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exact_quantile import exact_quantile
+from repro.datasets.generators import distinct_uniform, gaussian_values, zipf_values
+from repro.exceptions import ConfigurationError
+from repro.utils.stats import empirical_quantile, target_rank
+
+
+def test_returns_exact_quantile_for_several_phis(medium_values):
+    for seed, phi in enumerate((0.1, 0.25, 0.5, 0.75, 0.9)):
+        result = exact_quantile(medium_values, phi=phi, rng=seed)
+        assert result.value == empirical_quantile(medium_values, phi), phi
+        assert result.target_rank == target_rank(medium_values.size, phi)
+
+
+def test_extreme_phis_return_min_and_max(small_values):
+    low = exact_quantile(small_values, phi=0.0, rng=1)
+    high = exact_quantile(small_values, phi=1.0, rng=2)
+    assert low.value == small_values.min()
+    assert high.value == small_values.max()
+
+
+def test_works_on_continuous_and_skewed_data():
+    gauss = gaussian_values(512, rng=3)
+    zipf = zipf_values(512, exponent=1.7, rng=4)
+    for values in (gauss, zipf):
+        result = exact_quantile(values, phi=0.85, rng=5)
+        assert result.value == empirical_quantile(values, 0.85)
+
+
+def test_simulated_fidelity_also_exact(small_values):
+    result = exact_quantile(small_values, phi=0.6, rng=6, fidelity="simulated")
+    assert result.value == empirical_quantile(small_values, 0.6)
+    assert result.fidelity == "simulated"
+    # simulated runs pay for extrema/counting/token rounds explicitly
+    labels = set()
+    assert result.rounds > 0
+
+
+def test_rounds_scale_roughly_linearly_in_log_n():
+    """Theorem 1.1 shape check: rounds / log2(n) stays bounded as n grows."""
+    rounds = {}
+    for n in (256, 1024, 4096):
+        values = distinct_uniform(n, rng=7)
+        result = exact_quantile(values, phi=0.5, rng=8)
+        rounds[n] = result.rounds
+    ratio_small = rounds[256] / math.log2(256)
+    ratio_large = rounds[4096] / math.log2(4096)
+    # the normalised cost may wobble but must not blow up quadratically
+    assert ratio_large < 3.0 * ratio_small
+    assert rounds[4096] > rounds[256]  # more nodes do cost more rounds overall
+
+
+def test_history_records_progress(medium_values):
+    result = exact_quantile(medium_values, phi=0.3, rng=9)
+    assert result.iterations == len(result.history)
+    assert result.iterations >= 1
+    multiplicities = [h.cumulative_multiplicity for h in result.history]
+    assert all(m2 >= m1 for m1, m2 in zip(multiplicities, multiplicities[1:]))
+    assert result.history[-1].rounds_so_far <= result.rounds
+
+
+def test_duplicate_input_values_are_handled():
+    values = np.repeat(np.arange(1.0, 65.0), 4)  # 256 nodes, only 64 distinct values
+    result = exact_quantile(values, phi=0.5, rng=10)
+    assert result.value == empirical_quantile(values, 0.5)
+
+
+def test_eps_iteration_knob(medium_values):
+    fine = exact_quantile(medium_values, phi=0.5, rng=11, eps_iteration=0.03)
+    coarse = exact_quantile(medium_values, phi=0.5, rng=11, eps_iteration=0.2)
+    assert fine.value == coarse.value == empirical_quantile(medium_values, 0.5)
+    # a sharper sandwich needs fewer duplication iterations
+    assert fine.iterations <= coarse.iterations
+
+
+def test_summary_and_metadata(medium_values):
+    result = exact_quantile(medium_values, phi=0.4, rng=12)
+    summary = result.summary()
+    assert summary["value"] == result.value
+    assert summary["n"] == medium_values.size
+    assert result.metrics.rounds == result.rounds
+
+
+def test_validation_errors(small_values):
+    with pytest.raises(ConfigurationError):
+        exact_quantile(small_values, phi=2.0)
+    with pytest.raises(ConfigurationError):
+        exact_quantile(small_values, phi=0.5, fidelity="magic")
+    with pytest.raises(ConfigurationError):
+        exact_quantile(small_values, phi=0.5, eps_iteration=0.0)
+    with pytest.raises(ConfigurationError):
+        exact_quantile([1.0, 2.0, 3.0], phi=0.5)
+
+
+def test_deterministic_given_seed(small_values):
+    a = exact_quantile(small_values, phi=0.7, rng=13)
+    b = exact_quantile(small_values, phi=0.7, rng=13)
+    assert a.value == b.value
+    assert a.rounds == b.rounds

@@ -1,0 +1,114 @@
+"""Tests for the tournament schedules (Lemmas 2.2 and 2.12)."""
+
+import math
+
+import pytest
+
+from repro.core.schedules import (
+    approx_round_bound,
+    three_tournament_iteration_bound,
+    three_tournament_schedule,
+    two_tournament_iteration_bound,
+    two_tournament_schedule,
+)
+from repro.exceptions import ConfigurationError
+
+
+def test_two_tournament_schedule_squares_the_heavy_mass():
+    schedule = two_tournament_schedule(phi=0.25, eps=0.1)
+    assert schedule.direction == "min"
+    assert schedule.h0 == pytest.approx(1.0 - 0.35)
+    for iteration in schedule.iterations[:-1]:
+        assert iteration.h_after == pytest.approx(iteration.h_before ** 2)
+        assert iteration.delta == 1.0
+
+
+def test_two_tournament_last_iteration_is_truncated():
+    schedule = two_tournament_schedule(phi=0.25, eps=0.1)
+    last = schedule.iterations[-1]
+    assert 0.0 < last.delta <= 1.0
+    # The schedule stops exactly when the mass would cross T = 1/2 - eps.
+    assert last.h_after <= schedule.threshold + 1e-12
+    assert last.h_before > schedule.threshold
+
+
+def test_two_tournament_symmetric_direction_for_high_phi():
+    schedule = two_tournament_schedule(phi=0.8, eps=0.05)
+    assert schedule.direction == "max"
+    assert schedule.h0 == pytest.approx(0.75)
+
+
+def test_two_tournament_empty_schedule_near_median():
+    schedule = two_tournament_schedule(phi=0.5, eps=0.1)
+    # h0 = l0 = 0.4 <= T = 0.4 -> no iterations needed
+    assert schedule.num_iterations == 0
+    assert schedule.rounds == 0
+
+
+def test_two_tournament_iteration_count_respects_lemma_2_2():
+    for eps in (0.2, 0.1, 0.05, 0.02, 0.01):
+        for phi in (0.1, 0.3, 0.5, 0.7, 0.9):
+            schedule = two_tournament_schedule(phi, eps)
+            bound = math.log(4.0 / eps) / math.log(7.0 / 4.0) + 2
+            assert schedule.num_iterations <= math.ceil(bound) + 1
+            assert schedule.num_iterations <= two_tournament_iteration_bound(eps) + 1
+
+
+def test_three_tournament_schedule_applies_median_map():
+    schedule = three_tournament_schedule(eps=0.1, n=4096)
+    assert schedule.l0 == pytest.approx(0.4)
+    for iteration in schedule.iterations:
+        expected = 3 * iteration.l_before ** 2 - 2 * iteration.l_before ** 3
+        assert iteration.l_after == pytest.approx(expected)
+    # final mass is below the threshold n^{-1/3}
+    assert schedule.iterations[-1].l_after <= schedule.threshold + 1e-12
+
+
+def test_three_tournament_iterations_respect_lemma_2_12():
+    for eps in (0.2, 0.1, 0.05):
+        for n in (256, 4096, 65536):
+            schedule = three_tournament_schedule(eps, n)
+            assert schedule.num_iterations <= three_tournament_iteration_bound(eps, n) + 1
+
+
+def test_three_tournament_iterations_grow_with_log_one_over_eps():
+    n = 4096
+    assert (
+        three_tournament_schedule(0.01, n).num_iterations
+        > three_tournament_schedule(0.2, n).num_iterations
+    )
+
+
+def test_three_tournament_iterations_grow_slowly_with_n():
+    eps = 0.1
+    small = three_tournament_schedule(eps, 256).num_iterations
+    large = three_tournament_schedule(eps, 1 << 20).num_iterations
+    assert large >= small
+    assert large - small <= 5  # log log growth only
+
+
+def test_rounds_property():
+    schedule1 = two_tournament_schedule(0.25, 0.1)
+    assert schedule1.rounds == 2 * schedule1.num_iterations
+    schedule2 = three_tournament_schedule(0.1, 1024)
+    assert schedule2.rounds == 3 * schedule2.num_iterations
+
+
+def test_approx_round_bound_monotone():
+    assert approx_round_bound(0.05, 1024) > approx_round_bound(0.2, 1024)
+    assert approx_round_bound(0.1, 1 << 20) >= approx_round_bound(0.1, 1 << 10)
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        two_tournament_schedule(1.5, 0.1)
+    with pytest.raises(ConfigurationError):
+        two_tournament_schedule(0.5, 0.0)
+    with pytest.raises(ConfigurationError):
+        two_tournament_schedule(0.5, 0.6)
+    with pytest.raises(ConfigurationError):
+        three_tournament_schedule(0.1, 1)
+    with pytest.raises(ConfigurationError):
+        three_tournament_iteration_bound(0.7, 100)
+    with pytest.raises(ConfigurationError):
+        two_tournament_iteration_bound(0.0)

@@ -1,0 +1,89 @@
+"""Tests for the Step-7 token split-and-distribute process."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.tokens import distribute_tokens
+from repro.exceptions import ConfigurationError
+from repro.utils.rand import RandomSource
+
+
+def test_every_item_gets_exactly_multiplicity_copies():
+    result = distribute_tokens(list(range(20)), multiplicity=8, n=512, rng=1)
+    for item in range(20):
+        assert result.copies_of(item) == 8
+    owned = result.owners[result.owners >= 0]
+    assert owned.size == 20 * 8
+
+
+def test_no_node_holds_more_than_one_token_at_the_end():
+    result = distribute_tokens(list(range(30)), multiplicity=4, n=256, rng=2)
+    owners = result.owners
+    occupied = owners[owners >= 0]
+    assert occupied.size == 30 * 4
+    # owners array has one entry per node, so "at most one token per node"
+    # is structural; verify counts per item instead.
+    counts = np.bincount(occupied, minlength=30)
+    assert np.all(counts == 4)
+
+
+def test_multiplicity_one_keeps_items_in_place():
+    item_nodes = [5, 9, 17]
+    result = distribute_tokens(item_nodes, multiplicity=1, n=64, rng=3)
+    assert result.phases == 0 or result.phases >= 0
+    for item, node in enumerate(item_nodes):
+        assert result.copies_of(item) == 1
+
+
+def test_phases_grow_logarithmically_with_multiplicity():
+    # keep the token load well below n so spreading collisions stay rare,
+    # matching the paper's regime of at most n^0.99 tokens
+    small = distribute_tokens(list(range(10)), multiplicity=2, n=2048, rng=4)
+    large = distribute_tokens(list(range(10)), multiplicity=32, n=2048, rng=4)
+    assert large.phases > small.phases
+    assert large.phases <= small.phases + math.log2(32) + 20
+
+
+def test_max_tokens_per_node_stays_small():
+    result = distribute_tokens(list(range(40)), multiplicity=8, n=1024, rng=5)
+    assert result.max_tokens_per_node <= 12  # O(1) w.h.p.
+
+
+def test_under_failures_still_completes_and_counts_failed_pushes():
+    result = distribute_tokens(
+        list(range(20)), multiplicity=8, n=512, rng=6, failure_model=0.3
+    )
+    assert result.failed_pushes > 0
+    for item in range(20):
+        assert result.copies_of(item) == 8
+
+
+def test_rounds_accounting_shared_metrics():
+    from repro.gossip.metrics import NetworkMetrics
+
+    shared = NetworkMetrics(keep_history=False)
+    shared.charge_rounds(10)
+    result = distribute_tokens(
+        list(range(8)), multiplicity=4, n=128, rng=7, metrics=shared
+    )
+    assert result.rounds == shared.rounds - 10
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        distribute_tokens([], multiplicity=2, n=16)
+    with pytest.raises(ConfigurationError):
+        distribute_tokens([0, 1], multiplicity=3, n=16)  # not a power of two
+    with pytest.raises(ConfigurationError):
+        distribute_tokens([0, 20], multiplicity=2, n=16)  # node out of range
+    with pytest.raises(ConfigurationError):
+        distribute_tokens(list(range(10)), multiplicity=4, n=16)  # 40 tokens > 16 nodes
+
+
+def test_deterministic_given_seed():
+    a = distribute_tokens(list(range(12)), multiplicity=4, n=256, rng=RandomSource(9))
+    b = distribute_tokens(list(range(12)), multiplicity=4, n=256, rng=RandomSource(9))
+    assert np.array_equal(a.owners, b.owners)
+    assert a.phases == b.phases

@@ -1,0 +1,92 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    adversarial_shifted,
+    distinct_uniform,
+    gaussian_values,
+    sensor_temperature_field,
+    uniform_values,
+    zipf_values,
+)
+from repro.datasets.workloads import WORKLOADS, make_workload
+from repro.exceptions import ConfigurationError
+
+
+def test_distinct_uniform_is_a_permutation():
+    values = distinct_uniform(100, rng=1)
+    assert sorted(values.tolist()) == list(range(1, 101))
+    assert not np.array_equal(values, np.arange(1.0, 101.0))  # shuffled
+
+
+def test_uniform_values_range():
+    values = uniform_values(1000, low=5.0, high=6.0, rng=2)
+    assert values.min() >= 5.0
+    assert values.max() < 6.0
+    with pytest.raises(ConfigurationError):
+        uniform_values(10, low=1.0, high=1.0)
+
+
+def test_gaussian_values_moments():
+    values = gaussian_values(5000, mean=10.0, std=2.0, rng=3)
+    assert abs(values.mean() - 10.0) < 0.2
+    assert abs(values.std() - 2.0) < 0.2
+    with pytest.raises(ConfigurationError):
+        gaussian_values(10, std=0.0)
+
+
+def test_zipf_values_heavy_tail():
+    values = zipf_values(5000, exponent=1.5, rng=4)
+    assert values.min() >= 1.0
+    assert values.max() / np.median(values) > 10  # heavy tail
+    with pytest.raises(ConfigurationError):
+        zipf_values(10, exponent=1.0)
+
+
+def test_adversarial_shifted_scenarios():
+    a = adversarial_shifted(100, 0.05, scenario="a", rng=5)
+    b = adversarial_shifted(100, 0.05, scenario="b", rng=5)
+    assert sorted(a.tolist()) == list(range(1, 101))
+    assert int(min(b)) == 1 + int(np.floor(2 * 0.05 * 100))
+    with pytest.raises(ConfigurationError):
+        adversarial_shifted(100, 0.05, scenario="c")
+
+
+def test_sensor_field_has_hot_spots():
+    readings = sensor_temperature_field(2000, hot_spot_fraction=0.05, rng=6)
+    baseline = sensor_temperature_field(2000, hot_spot_fraction=0.0, rng=6)
+    assert readings.max() > baseline.max() + 5.0
+    with pytest.raises(ConfigurationError):
+        sensor_temperature_field(100, hot_spot_fraction=1.5)
+
+
+def test_workload_registry_covers_all_generators():
+    assert set(WORKLOADS) == {
+        "distinct",
+        "uniform",
+        "gaussian",
+        "zipf",
+        "adversarial",
+        "sensor",
+    }
+    for name in WORKLOADS:
+        kwargs = {"eps": 0.05} if name == "adversarial" else {}
+        values = make_workload(name, 64, rng=7, **kwargs)
+        assert values.shape == (64,)
+
+
+def test_make_workload_unknown_name():
+    with pytest.raises(ConfigurationError):
+        make_workload("nope", 64)
+
+
+def test_generators_are_deterministic_given_seed():
+    assert np.array_equal(distinct_uniform(50, rng=9), distinct_uniform(50, rng=9))
+    assert np.array_equal(zipf_values(50, rng=9), zipf_values(50, rng=9))
+
+
+def test_minimum_size_validation():
+    with pytest.raises(ConfigurationError):
+        distinct_uniform(1)

@@ -1,0 +1,29 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    MessageSizeExceeded,
+    ProtocolError,
+    ReproError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (ConfigurationError, ProtocolError, ConvergenceError, MessageSizeExceeded):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_message_size_exceeded_carries_fields():
+    exc = MessageSizeExceeded(used_bits=128, budget_bits=64)
+    assert exc.used_bits == 128
+    assert exc.budget_bits == 64
+    assert "128" in str(exc)
+    assert isinstance(exc, ProtocolError)
+
+
+def test_repro_errors_are_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise ConfigurationError("bad config")

@@ -1,0 +1,134 @@
+"""Tests for the experiment harness (small-parameter runs of E1-E9)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    ablations,
+    approx_rounds,
+    baselines_compare,
+    exact_rounds,
+    lower_bound,
+    message_size,
+    robustness,
+    schedule_validation,
+    self_rank,
+    token_distribution,
+)
+from repro.experiments.runner import REGISTRY, run_experiment
+
+
+def test_registry_contains_all_experiments():
+    assert len(REGISTRY) == 10
+    for spec in REGISTRY.values():
+        assert spec.columns
+        assert spec.claim
+
+
+def test_ablations_rows():
+    rows = ablations.run(n=512, phi=0.25, eps=0.15, trials=1, vote_sizes=(1, 15), seed=11)
+    by_key = {(row["ablation"], row["setting"]): row for row in rows}
+    paper = by_key[("phase-one", "phase I + phase II (paper)")]
+    no_phase1 = by_key[("phase-one", "phase II only (ablated)")]
+    # skipping Phase I collapses the estimate towards the median
+    assert no_phase1["mean_error"] > paper["mean_error"]
+    assert no_phase1["mean_error"] > 0.1
+    # the K = 15 vote is at least as reliable as a single sample
+    assert (
+        by_key[("final-vote-size", "K=15")]["node_success_fraction"]
+        >= by_key[("final-vote-size", "K=1")]["node_success_fraction"]
+    )
+
+
+def test_exact_rounds_rows_and_shape():
+    rows = exact_rounds.run(sizes=(128, 512), phis=(0.5,), trials=1, seed=1)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["tournament_correct"] == 1.0
+        assert row["kempe_correct"] == 1.0
+        assert row["kempe_rounds"] > row["tournament_rounds"] * 0.5
+    # quadratic-vs-linear separation: the normalised Kempe cost should not
+    # shrink relative to the tournament cost as n grows
+    assert rows[1]["speedup"] >= 0.8 * rows[0]["speedup"]
+
+
+def test_approx_rounds_rows():
+    rows = approx_rounds.run(sizes=(256, 1024), eps_values=(0.15,), phis=(0.5,), trials=1, seed=2)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["max_error"] <= 0.15 + 1e-9
+        assert row["rounds"] > 0
+    # near-flat growth in n
+    assert rows[1]["rounds"] <= rows[0]["rounds"] + 12
+
+
+def test_lower_bound_rows():
+    rows = lower_bound.run(sizes=(1024,), eps_values=(0.1, 0.05), trials=1, seed=3)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["rounds_to_all_informed"] >= row["theorem_bound"] - 1
+
+
+def test_robustness_rows():
+    rows = robustness.run(sizes=(256,), mus=(0.0, 0.3), eps=0.15, trials=1, seed=4)
+    assert len(rows) == 2
+    clean, faulty = rows
+    assert faulty["rounds"] >= clean["rounds"]
+    assert faulty["answered_fraction"] > 0.9
+
+
+def test_self_rank_rows():
+    rows = self_rank.run(workloads=("distinct",), sizes=(256,), eps_values=(0.2,), seed=5)
+    assert len(rows) == 1
+    assert rows[0]["fraction_within_2eps"] > 0.9
+
+
+def test_schedule_validation_rows():
+    rows = schedule_validation.run(sizes=(512,), phis=(0.25,), eps_values=(0.1,), seed=6)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["phase1_iterations"] <= row["phase1_bound"] + 1
+    assert row["phase2_iterations"] <= row["phase2_bound"] + 1
+    assert row["max_trajectory_deviation"] < 0.1
+
+
+def test_baselines_compare_rows():
+    rows = baselines_compare.run(n=256, eps=0.15, phi=0.5, trials=1, seed=7)
+    by_name = {row["algorithm"]: row for row in rows}
+    assert set(by_name) == {"tournament", "sampling", "doubling", "compacted-doubling"}
+    assert by_name["sampling"]["rounds"] > by_name["tournament"]["rounds"]
+    assert by_name["doubling"]["max_message_bits"] > by_name["tournament"]["max_message_bits"]
+
+
+def test_message_size_rows():
+    rows = message_size.run(sizes=(256,), eps_values=(0.1,), seed=8)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["tournament_bits"] < row["compacted_bits"] < row["doubling_bits"]
+
+
+def test_message_size_formula_only_mode():
+    rows = message_size.run(sizes=(1 << 14,), eps_values=(0.01,), measure=False)
+    assert rows[0]["doubling_bits"] > rows[0]["compacted_bits"]
+
+
+def test_token_distribution_rows():
+    rows = token_distribution.run(sizes=(256,), mus=(0.0,), trials=1, seed=9)
+    assert len(rows) == 1
+    assert rows[0]["max_tokens_per_node"] <= 16
+
+
+def test_run_experiment_renders_table_and_csv():
+    table = run_experiment("schedules", sizes=(256,), seed=10)
+    assert "phase1_iterations" in table
+    csv_text = run_experiment("schedules", output="csv", sizes=(256,), seed=10)
+    assert csv_text.startswith("n,")
+    rows_text = run_experiment("schedules", output="rows", sizes=(256,), seed=10)
+    assert rows_text.startswith("[")
+
+
+def test_run_experiment_unknown_name_and_format():
+    with pytest.raises(ConfigurationError):
+        run_experiment("not-an-experiment")
+    with pytest.raises(ConfigurationError):
+        run_experiment("schedules", output="yaml", sizes=(256,))

@@ -1,0 +1,103 @@
+"""Tests for repro.gossip.failures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gossip.failures import (
+    NoFailures,
+    PerNodeFailures,
+    UniformFailures,
+    resolve_failure_model,
+)
+from repro.utils.rand import RandomSource
+
+
+def test_no_failures_never_fails():
+    model = NoFailures()
+    mask = model.failure_mask(0, 100, RandomSource(1))
+    assert mask.dtype == bool
+    assert not mask.any()
+    assert model.mu == 0.0
+
+
+def test_uniform_failures_rate_close_to_mu():
+    model = UniformFailures(0.3)
+    rng = RandomSource(2)
+    total = 0
+    rounds = 50
+    for i in range(rounds):
+        total += int(model.failure_mask(i, 1000, rng).sum())
+    rate = total / (rounds * 1000)
+    assert 0.25 < rate < 0.35
+    assert model.expected_failures(1000) == pytest.approx(300.0)
+
+
+def test_uniform_failures_validation():
+    with pytest.raises(ConfigurationError):
+        UniformFailures(1.0)
+    with pytest.raises(ConfigurationError):
+        UniformFailures(-0.1)
+
+
+def test_per_node_failures_static_vector():
+    probs = np.zeros(100)
+    probs[:10] = 0.9
+    model = PerNodeFailures(probs)
+    assert model.mu == pytest.approx(0.9)
+    rng = RandomSource(3)
+    counts = np.zeros(100)
+    for i in range(200):
+        counts += model.failure_mask(i, 100, rng)
+    # nodes 10.. never fail, nodes 0..9 fail often
+    assert counts[10:].sum() == 0
+    assert counts[:10].min() > 100
+
+
+def test_per_node_failures_wrong_length_raises():
+    model = PerNodeFailures(np.full(10, 0.2))
+    with pytest.raises(ConfigurationError):
+        model.failure_mask(0, 20, RandomSource(1))
+
+
+def test_per_node_failures_callable_schedule():
+    def schedule(round_index, n):
+        probs = np.zeros(n)
+        if round_index % 2 == 0:
+            probs[:] = 0.5
+        return probs
+
+    model = PerNodeFailures(schedule, mu=0.5)
+    rng = RandomSource(4)
+    even = model.failure_mask(0, 500, rng).sum()
+    odd = model.failure_mask(1, 500, rng).sum()
+    assert even > 150
+    assert odd == 0
+
+
+def test_per_node_callable_requires_mu():
+    with pytest.raises(ConfigurationError):
+        PerNodeFailures(lambda r, n: np.zeros(n))
+
+
+def test_per_node_schedule_exceeding_mu_raises():
+    model = PerNodeFailures(lambda r, n: np.full(n, 0.9), mu=0.5)
+    with pytest.raises(ConfigurationError):
+        model.failure_mask(0, 10, RandomSource(1))
+
+
+def test_per_node_invalid_probabilities():
+    with pytest.raises(ConfigurationError):
+        PerNodeFailures(np.array([0.5, 1.0]))
+    with pytest.raises(ConfigurationError):
+        PerNodeFailures(np.array([[0.1, 0.2]]))
+
+
+def test_resolve_failure_model():
+    assert isinstance(resolve_failure_model(None), NoFailures)
+    assert isinstance(resolve_failure_model(0), NoFailures)
+    assert isinstance(resolve_failure_model(0.25), UniformFailures)
+    model = UniformFailures(0.1)
+    assert resolve_failure_model(model) is model
+    with pytest.raises(ConfigurationError):
+        resolve_failure_model("half")

@@ -1,0 +1,76 @@
+"""Tests for repro.gossip.messages."""
+
+import pytest
+
+from repro.gossip.messages import (
+    BITS_HEADER,
+    BITS_PER_VALUE,
+    Message,
+    buffer_bits,
+    id_bits,
+    payload_bits,
+    theoretical_message_bits,
+    tournament_message_bits,
+)
+
+
+def test_id_bits():
+    assert id_bits(2) == 1
+    assert id_bits(1024) == 10
+    assert id_bits(1025) == 11
+    with pytest.raises(ValueError):
+        id_bits(0)
+
+
+def test_payload_bits_scalars_and_composites():
+    assert payload_bits(None) == BITS_HEADER
+    assert payload_bits(True) == BITS_HEADER + 1
+    assert payload_bits(255) == BITS_HEADER + 8
+    assert payload_bits(1.5) == BITS_HEADER + BITS_PER_VALUE
+    assert payload_bits((1.0, 2.0)) == BITS_HEADER + 2 * BITS_PER_VALUE
+    assert payload_bits([1.0, 2.0, 3.0]) == BITS_HEADER + 3 * BITS_PER_VALUE
+    assert payload_bits("ab") == BITS_HEADER + 16
+    assert payload_bits({1: 2.0}) > BITS_HEADER
+
+
+def test_payload_bits_includes_sender_id_when_n_given():
+    assert payload_bits(1.0, n=1024) == BITS_HEADER + 10 + BITS_PER_VALUE
+
+
+def test_message_validation():
+    message = Message(sender=0, receiver=1, payload=1.0, kind="push", round_index=0, bits=80)
+    assert message.bits == 80
+    with pytest.raises(ValueError):
+        Message(sender=0, receiver=1, payload=1.0, kind="teleport", round_index=0)
+    with pytest.raises(ValueError):
+        Message(sender=0, receiver=1, payload=1.0, kind="push", round_index=-1)
+
+
+def test_buffer_bits_scales_linearly():
+    assert buffer_bits(0) == BITS_HEADER
+    assert buffer_bits(10) - buffer_bits(0) == 10 * BITS_PER_VALUE
+    with pytest.raises(ValueError):
+        buffer_bits(-1)
+
+
+def test_tournament_message_bits_is_small_and_logarithmic():
+    small = tournament_message_bits(256)
+    large = tournament_message_bits(65536)
+    assert small < large < 2 * small  # grows only with log n
+
+
+def test_theoretical_message_bits_ordering():
+    n, eps = 4096, 0.05
+    tournament, _ = theoretical_message_bits("tournament", n, eps)
+    compacted, _ = theoretical_message_bits("compacted", n, eps)
+    doubling, _ = theoretical_message_bits("doubling", n, eps)
+    assert tournament < compacted < doubling
+
+
+def test_theoretical_message_bits_validation():
+    with pytest.raises(ValueError):
+        theoretical_message_bits("unknown", 1024, 0.1)
+    with pytest.raises(ValueError):
+        theoretical_message_bits("doubling", 1, 0.1)
+    with pytest.raises(ValueError):
+        theoretical_message_bits("doubling", 1024, 2.0)

@@ -1,0 +1,106 @@
+"""Tests for repro.gossip.metrics."""
+
+import pytest
+
+from repro.gossip.metrics import NetworkMetrics, RoundRecord, total_rounds
+
+
+def test_begin_round_increments_round_count():
+    metrics = NetworkMetrics()
+    metrics.begin_round("phase-a")
+    metrics.begin_round("phase-a")
+    metrics.begin_round("phase-b")
+    assert metrics.rounds == 3
+    assert metrics.rounds_by_label() == {"phase-a": 2, "phase-b": 1}
+
+
+def test_record_messages_accumulates_bits_and_max():
+    metrics = NetworkMetrics()
+    record = metrics.begin_round()
+    metrics.record_messages(10, 64, record)
+    metrics.record_messages(1, 256, record)
+    assert metrics.messages == 11
+    assert metrics.total_bits == 10 * 64 + 256
+    assert metrics.max_message_bits == 256
+    assert record.messages == 11
+    assert record.max_message_bits == 256
+
+
+def test_record_messages_validation():
+    metrics = NetworkMetrics()
+    metrics.begin_round()
+    with pytest.raises(ValueError):
+        metrics.record_messages(-1, 10)
+    with pytest.raises(ValueError):
+        metrics.record_messages(1, -10)
+
+
+def test_record_failures():
+    metrics = NetworkMetrics()
+    record = metrics.begin_round()
+    metrics.record_failures(3, record)
+    assert metrics.failed_node_rounds == 3
+    assert record.failed_nodes == 3
+    with pytest.raises(ValueError):
+        metrics.record_failures(-1)
+
+
+def test_charge_rounds_counts_without_messages():
+    metrics = NetworkMetrics()
+    metrics.charge_rounds(5, label="charged")
+    assert metrics.rounds == 5
+    assert metrics.messages == 0
+    assert metrics.rounds_by_label() == {"charged": 5}
+
+
+def test_merge_offsets_history_and_sums_counts():
+    a = NetworkMetrics()
+    a.begin_round("x")
+    a.record_messages(2, 10)
+    b = NetworkMetrics()
+    b.begin_round("y")
+    b.record_messages(3, 20)
+    a.merge(b)
+    assert a.rounds == 2
+    assert a.messages == 5
+    assert a.total_bits == 2 * 10 + 3 * 20
+    assert a.history[1].round_index == 1
+    assert a.history[1].label == "y"
+
+
+def test_summary_keys():
+    metrics = NetworkMetrics()
+    metrics.begin_round()
+    metrics.record_messages(1, 8)
+    summary = metrics.summary()
+    assert set(summary) == {
+        "rounds",
+        "messages",
+        "total_bits",
+        "max_message_bits",
+        "failed_node_rounds",
+    }
+
+
+def test_no_history_mode():
+    metrics = NetworkMetrics(keep_history=False)
+    metrics.begin_round()
+    metrics.begin_round()
+    assert metrics.rounds == 2
+    assert metrics.history == []
+
+
+def test_total_rounds_helper():
+    a, b = NetworkMetrics(), NetworkMetrics()
+    a.charge_rounds(2)
+    b.charge_rounds(3)
+    assert total_rounds([a, b]) == 5
+
+
+def test_round_record_merge_message():
+    record = RoundRecord(round_index=0)
+    record.merge_message(100)
+    record.merge_message(50)
+    assert record.messages == 2
+    assert record.bits == 150
+    assert record.max_message_bits == 100

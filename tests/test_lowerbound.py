@@ -1,0 +1,84 @@
+"""Tests for the Theorem 1.3 lower-bound harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lowerbound.scenario import build_scenarios
+from repro.lowerbound.spreading import (
+    lower_bound_rounds,
+    simulate_spreading,
+)
+
+
+def test_scenarios_are_shifted_copies():
+    scenario = build_scenarios(1000, 0.05)
+    assert scenario.shift == 100
+    assert np.array_equal(scenario.values_b, scenario.values_a + 100)
+    assert scenario.distinguishing_nodes == 200
+
+
+def test_distinguishing_masks_have_expected_size():
+    scenario = build_scenarios(1000, 0.05)
+    mask_a = scenario.distinguishing_mask("a")
+    mask_b = scenario.distinguishing_mask("b")
+    # scenario A: values <= 1 + shift (=101); scenario B: values > n (=1000)
+    assert mask_a.sum() == 101
+    assert mask_b.sum() == 101
+    with pytest.raises(ConfigurationError):
+        scenario.distinguishing_mask("c")
+
+
+def test_scenario_quantiles_differ_by_at_least_eps_n():
+    scenario = build_scenarios(1000, 0.05)
+    phi = 0.5
+    q_a = np.sort(scenario.values_a)[499]
+    q_b = np.sort(scenario.values_b)[499]
+    assert q_b - q_a >= 0.05 * 1000
+
+
+def test_scenario_validation():
+    with pytest.raises(ConfigurationError):
+        build_scenarios(8, 0.05)
+    with pytest.raises(ConfigurationError):
+        build_scenarios(1000, 0.2)
+    with pytest.raises(ConfigurationError):
+        build_scenarios(1000, 1e-6)
+
+
+def test_lower_bound_rounds_monotone():
+    assert lower_bound_rounds(10**6, 0.1) >= lower_bound_rounds(100, 0.1)
+    assert lower_bound_rounds(1000, 0.01) > lower_bound_rounds(1000, 0.1)
+    with pytest.raises(ConfigurationError):
+        lower_bound_rounds(2, 0.1)
+
+
+def test_spreading_needs_at_least_the_theorem_bound():
+    """The measured spreading time never beats the Theorem 1.3 floor."""
+    for n, eps in ((4096, 0.1), (16384, 0.05), (4096, 0.02)):
+        result = simulate_spreading(n, eps, rng=1)
+        assert result.all_good
+        assert result.rounds_to_all_good >= math.floor(lower_bound_rounds(n, eps)) - 1
+        assert result.initial_good <= 4 * eps * n
+
+
+def test_spreading_rounds_grow_as_eps_shrinks():
+    coarse = simulate_spreading(8192, 0.1, rng=2)
+    fine = simulate_spreading(8192, 0.005, rng=2)
+    assert fine.rounds_to_all_good > coarse.rounds_to_all_good
+
+
+def test_good_history_is_monotone():
+    result = simulate_spreading(2048, 0.05, rng=3)
+    history = result.good_history
+    assert all(b >= a for a, b in zip(history, history[1:]))
+    assert history[-1] == 2048
+
+
+def test_spreading_validation():
+    with pytest.raises(ConfigurationError):
+        simulate_spreading(8, 0.1)
+    with pytest.raises(ConfigurationError):
+        simulate_spreading(1024, 0.6)

@@ -1,0 +1,64 @@
+"""Property-based tests for the tournament schedules (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schedules import (
+    three_tournament_iteration_bound,
+    three_tournament_schedule,
+    two_tournament_iteration_bound,
+    two_tournament_schedule,
+)
+
+phis = st.floats(min_value=0.0, max_value=1.0)
+eps_values = st.floats(min_value=0.005, max_value=0.45)
+sizes = st.integers(min_value=4, max_value=1 << 20)
+
+
+@settings(max_examples=80, deadline=None)
+@given(phi=phis, eps=eps_values)
+def test_two_tournament_schedule_invariants(phi, eps):
+    schedule = two_tournament_schedule(phi, eps)
+    threshold = 0.5 - eps
+    assert schedule.direction in ("min", "max")
+    # masses strictly decrease and only the final mass crosses the threshold
+    masses = [it.h_before for it in schedule.iterations]
+    assert all(a > b for a, b in zip(masses, masses[1:]))
+    for iteration in schedule.iterations[:-1]:
+        assert iteration.delta == 1.0
+        assert iteration.h_after > 0.0
+    if schedule.iterations:
+        assert schedule.iterations[-1].h_before > threshold
+    # iteration count respects Lemma 2.2 (plus rounding slack)
+    assert schedule.num_iterations <= two_tournament_iteration_bound(eps) + 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(phi=phis, eps=eps_values)
+def test_two_tournament_deltas_are_probabilities(phi, eps):
+    schedule = two_tournament_schedule(phi, eps)
+    for iteration in schedule.iterations:
+        assert 0.0 < iteration.delta <= 1.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(eps=eps_values, n=sizes)
+def test_three_tournament_schedule_invariants(eps, n):
+    schedule = three_tournament_schedule(eps, n)
+    threshold = n ** (-1.0 / 3.0)
+    masses = [it.l_before for it in schedule.iterations]
+    assert all(a >= b for a, b in zip(masses, masses[1:]))
+    for iteration in schedule.iterations:
+        assert iteration.l_before > threshold
+        expected = 3 * iteration.l_before ** 2 - 2 * iteration.l_before ** 3
+        assert math.isclose(iteration.l_after, expected, rel_tol=1e-12)
+    assert schedule.num_iterations <= three_tournament_iteration_bound(eps, n) + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(eps=eps_values)
+def test_three_tournament_iterations_monotone_in_n(eps):
+    small = three_tournament_schedule(eps, 64).num_iterations
+    large = three_tournament_schedule(eps, 1 << 18).num_iterations
+    assert large >= small

@@ -1,0 +1,80 @@
+"""Property-based tests for the rank/quantile helpers (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.stats import (
+    empirical_quantile,
+    quantile_of_value,
+    rank_error,
+    rank_of_value,
+    target_rank,
+    value_at_rank,
+    within_eps,
+)
+
+value_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=value_lists, phi=st.floats(min_value=0.0, max_value=1.0))
+def test_empirical_quantile_is_an_element_with_correct_rank(values, phi):
+    values = np.asarray(values, dtype=float)
+    q = empirical_quantile(values, phi)
+    assert q in values
+    # the quantile's rank band always contains phi (zero rank error)
+    assert rank_error(values, q, phi) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=value_lists, phi=st.floats(min_value=0.0, max_value=1.0))
+def test_target_rank_bounds(values, phi):
+    n = len(values)
+    rank = target_rank(n, phi)
+    assert 1 <= rank <= n
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=value_lists)
+def test_value_at_rank_is_monotone_in_rank(values):
+    arr = np.asarray(values, dtype=float)
+    ranks = range(1, arr.size + 1)
+    ordered = [value_at_rank(arr, r) for r in ranks]
+    assert all(a <= b for a, b in zip(ordered, ordered[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=value_lists, probe=st.floats(min_value=-1e6, max_value=1e6))
+def test_rank_and_quantile_of_value_are_consistent(values, probe):
+    arr = np.asarray(values, dtype=float)
+    rank = rank_of_value(arr, probe)
+    assert 0 <= rank <= arr.size
+    assert quantile_of_value(arr, probe) == rank / arr.size
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=value_lists,
+    phi=st.floats(min_value=0.0, max_value=1.0),
+    eps=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_rank_error_definition_matches_within_eps(values, phi, eps):
+    arr = np.asarray(values, dtype=float)
+    estimate = float(arr[0])
+    error = rank_error(arr, estimate, phi)
+    assert error >= 0.0
+    assert within_eps(arr, estimate, phi, eps) == (error <= eps + 1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=value_lists, phi=st.floats(min_value=0.0, max_value=1.0))
+def test_larger_eps_never_rejects_an_accepted_estimate(values, phi):
+    arr = np.asarray(values, dtype=float)
+    estimate = float(np.median(arr))
+    for eps_small, eps_large in ((0.01, 0.1), (0.1, 0.3)):
+        if within_eps(arr, estimate, phi, eps_small):
+            assert within_eps(arr, estimate, phi, eps_large)

@@ -1,0 +1,91 @@
+"""Tests for the Appendix A.1 compactor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sketches.compactor import (
+    CompactingBuffer,
+    compact,
+    cumulative_rank_error_bound,
+)
+
+
+def test_compact_keeps_even_positions_of_sorted_order():
+    assert compact([5.0, 1.0, 4.0, 2.0, 3.0, 6.0]) == [2.0, 4.0, 6.0]
+    assert compact([1.0, 2.0]) == [2.0]
+    assert compact([]) == []
+
+
+def test_buffer_from_samples_compacts_to_capacity():
+    buffer = CompactingBuffer.from_samples(np.arange(100.0), capacity=16)
+    assert len(buffer) <= 16
+    assert buffer.weight >= 4
+    assert buffer.represented_samples >= 64
+
+
+def test_merge_doubles_weight_when_overflowing():
+    a = CompactingBuffer.from_samples(np.arange(0.0, 16.0), capacity=16)
+    b = CompactingBuffer.from_samples(np.arange(16.0, 32.0), capacity=16)
+    assert a.weight == b.weight == 1
+    a.merge(b)
+    assert len(a) <= 16
+    assert a.weight == 2
+    assert a.represented_samples == 32
+
+
+def test_merge_requires_equal_weight_and_capacity():
+    a = CompactingBuffer.from_samples(np.arange(32.0), capacity=16)   # weight 2
+    b = CompactingBuffer.from_samples(np.arange(8.0), capacity=16)    # weight 1
+    with pytest.raises(ConfigurationError):
+        a.merge(b)
+    c = CompactingBuffer.from_samples(np.arange(8.0), capacity=8)
+    with pytest.raises(ConfigurationError):
+        b.merge(c)
+
+
+def test_weighted_rank_error_respects_lemma_a3():
+    """One compaction changes any rank by at most the pre-compaction weight."""
+    rng = np.random.default_rng(0)
+    samples = rng.random(64)
+    buffer = CompactingBuffer(capacity=64, items=sorted(samples))
+    query = 0.5
+    exact_rank = int(np.sum(samples <= query))
+    buffer.items = compact(buffer.items)
+    buffer.weight *= 2
+    assert abs(buffer.weighted_rank(query) - exact_rank) <= 2
+
+
+def test_query_returns_plausible_quantiles():
+    buffer = CompactingBuffer.from_samples(np.arange(1.0, 1025.0), capacity=64)
+    mid = buffer.query(0.5)
+    assert 400 <= mid <= 624
+    assert buffer.query(0.0) <= buffer.query(1.0)
+    assert abs(buffer.quantile_of(512.0) - 0.5) < 0.1
+
+
+def test_message_bits_scale_with_length():
+    buffer = CompactingBuffer.from_samples(np.arange(64.0), capacity=32)
+    assert buffer.message_bits() <= 16 + 64 * 32 + 32
+
+
+def test_cumulative_error_bound():
+    assert cumulative_rank_error_bound(100, 200) == 0.0
+    assert cumulative_rank_error_bound(4096, 64) > 0.0
+    with pytest.raises(ConfigurationError):
+        cumulative_rank_error_bound(0, 10)
+
+
+def test_empty_buffer_queries_raise():
+    buffer = CompactingBuffer(capacity=8)
+    with pytest.raises(ConfigurationError):
+        buffer.query(0.5)
+    with pytest.raises(ConfigurationError):
+        buffer.quantile_of(1.0)
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigurationError):
+        CompactingBuffer(capacity=1)
+    with pytest.raises(ConfigurationError):
+        CompactingBuffer(capacity=8, weight=0)

@@ -1,0 +1,83 @@
+"""Tests for the simplified KLL sketch."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sketches.kll import KLLSketch
+from repro.utils.rand import RandomSource
+
+
+def test_small_streams_are_exact():
+    sketch = KLLSketch(k=64)
+    data = list(range(1, 33))
+    sketch.extend(map(float, data))
+    assert sketch.count == 32
+    assert sketch.size == 32
+    assert sketch.query(0.5) == 16.0
+    assert sketch.rank(16.0) == 16.0
+
+
+def test_large_stream_rank_error_is_bounded():
+    rng = np.random.default_rng(1)
+    data = rng.random(20_000)
+    sketch = KLLSketch(k=128, rng=RandomSource(2))
+    sketch.extend(data)
+    assert sketch.count == 20_000
+    assert sketch.size < 1_000  # sub-linear space
+    for phi in (0.1, 0.5, 0.9):
+        estimate = sketch.query(phi)
+        true_quantile = float(np.mean(data <= estimate))
+        assert abs(true_quantile - phi) < 0.05
+
+
+def test_merge_preserves_counts_and_accuracy():
+    rng = np.random.default_rng(3)
+    a = KLLSketch(k=128, rng=RandomSource(4))
+    b = KLLSketch(k=128, rng=RandomSource(5))
+    data_a = rng.random(5_000)
+    data_b = rng.random(5_000) + 0.5
+    a.extend(data_a)
+    b.extend(data_b)
+    a.merge(b)
+    assert a.count == 10_000
+    combined = np.concatenate([data_a, data_b])
+    estimate = a.query(0.5)
+    assert abs(float(np.mean(combined <= estimate)) - 0.5) < 0.07
+
+
+def test_merge_requires_same_k():
+    with pytest.raises(ConfigurationError):
+        KLLSketch(k=32).merge(KLLSketch(k=64))
+
+
+def test_message_bits_track_size():
+    sketch = KLLSketch(k=64)
+    sketch.extend(float(i) for i in range(1000))
+    assert sketch.message_bits() >= 64 * sketch.size
+
+
+def test_error_bound_scales_with_count_over_k():
+    sketch = KLLSketch(k=64)
+    assert sketch.error_bound() == 0.0
+    sketch.extend(float(i) for i in range(640))
+    assert sketch.error_bound() == pytest.approx(30.0)
+
+
+def test_empty_sketch_queries_raise():
+    sketch = KLLSketch()
+    with pytest.raises(ConfigurationError):
+        sketch.query(0.5)
+    with pytest.raises(ConfigurationError):
+        sketch.rank(1.0)
+    with pytest.raises(ConfigurationError):
+        sketch.quantile_of(1.0)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConfigurationError):
+        KLLSketch(k=2)
+    with pytest.raises(ConfigurationError):
+        KLLSketch(c=0.4)
+    with pytest.raises(ConfigurationError):
+        KLLSketch().query(1.5)

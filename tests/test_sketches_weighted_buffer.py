@@ -1,0 +1,62 @@
+"""Tests for the weighted rank-query buffer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sketches.weighted_buffer import WeightedBuffer
+
+
+def test_add_and_total_weight():
+    buffer = WeightedBuffer()
+    buffer.add(1.0, 2.0)
+    buffer.add(3.0)
+    assert len(buffer) == 2
+    assert buffer.total_weight == 3.0
+
+
+def test_rank_and_quantile_of():
+    buffer = WeightedBuffer.from_pairs([(1.0, 1.0), (2.0, 2.0), (3.0, 1.0)])
+    assert buffer.rank(0.5) == 0.0
+    assert buffer.rank(2.0) == 3.0
+    assert buffer.quantile_of(2.0) == pytest.approx(0.75)
+
+
+def test_query_inverse_of_rank():
+    buffer = WeightedBuffer.from_pairs([(float(v), 1.0) for v in range(1, 101)])
+    assert buffer.query(0.5) == 50.0
+    assert buffer.query(0.0) == 1.0
+    assert buffer.query(1.0) == 100.0
+
+
+def test_query_respects_weights():
+    buffer = WeightedBuffer.from_pairs([(1.0, 99.0), (2.0, 1.0)])
+    assert buffer.query(0.5) == 1.0
+    assert buffer.query(1.0) == 2.0
+
+
+def test_extend_and_as_arrays():
+    a = WeightedBuffer.from_pairs([(2.0, 1.0)])
+    b = WeightedBuffer.from_pairs([(1.0, 1.0)])
+    a.extend(b)
+    values, weights = a.as_arrays()
+    assert values.tolist() == [1.0, 2.0]
+    assert weights.tolist() == [1.0, 1.0]
+
+
+def test_empty_buffer_behaviour():
+    buffer = WeightedBuffer()
+    values, weights = buffer.as_arrays()
+    assert values.size == 0 and weights.size == 0
+    with pytest.raises(ConfigurationError):
+        buffer.query(0.5)
+    with pytest.raises(ConfigurationError):
+        buffer.quantile_of(1.0)
+
+
+def test_invalid_weight():
+    buffer = WeightedBuffer()
+    with pytest.raises(ConfigurationError):
+        buffer.add(1.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        buffer.query(1.5)

@@ -1,0 +1,97 @@
+"""Tests for repro.utils.mathutils."""
+
+import math
+
+import pytest
+
+from repro.utils.mathutils import (
+    binomial_tail_bound,
+    ceil_log2,
+    ceil_pow2,
+    clamp,
+    harmonic_number,
+    is_power_of_two,
+    log_base,
+    log_log,
+    message_bits_for_value,
+)
+
+
+def test_clamp_inside_and_outside():
+    assert clamp(0.5, 0.0, 1.0) == 0.5
+    assert clamp(-1.0, 0.0, 1.0) == 0.0
+    assert clamp(2.0, 0.0, 1.0) == 1.0
+
+
+def test_clamp_empty_interval_raises():
+    with pytest.raises(ValueError):
+        clamp(0.5, 1.0, 0.0)
+
+
+def test_ceil_log2_values():
+    assert ceil_log2(1) == 0
+    assert ceil_log2(2) == 1
+    assert ceil_log2(3) == 2
+    assert ceil_log2(1024) == 10
+    assert ceil_log2(1025) == 11
+
+
+def test_ceil_log2_invalid():
+    with pytest.raises(ValueError):
+        ceil_log2(0)
+
+
+def test_ceil_pow2():
+    assert ceil_pow2(0.5) == 1
+    assert ceil_pow2(1) == 1
+    assert ceil_pow2(3) == 4
+    assert ceil_pow2(17) == 32
+
+
+def test_is_power_of_two():
+    assert is_power_of_two(1)
+    assert is_power_of_two(64)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(12)
+    assert not is_power_of_two(-4)
+
+
+def test_log_base():
+    assert log_base(8, 2) == pytest.approx(3.0)
+    assert log_base(81, 3) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        log_base(-1, 2)
+    with pytest.raises(ValueError):
+        log_base(2, 1)
+
+
+def test_log_log():
+    assert log_log(1.0) == 0.0
+    assert log_log(2.0) == 0.0
+    assert log_log(16.0) == pytest.approx(2.0)
+
+
+def test_message_bits_for_value():
+    # one id + one value, both ceil(log2(n)) bits by default
+    assert message_bits_for_value(1024) == 20
+    assert message_bits_for_value(1024, value_bits=64) == 10 + 64
+    with pytest.raises(ValueError):
+        message_bits_for_value(0)
+
+
+def test_harmonic_number():
+    assert harmonic_number(0) == 0.0
+    assert harmonic_number(1) == 1.0
+    assert harmonic_number(3) == pytest.approx(1.0 + 0.5 + 1.0 / 3.0)
+    with pytest.raises(ValueError):
+        harmonic_number(-1)
+
+
+def test_binomial_tail_bound_monotone_and_valid():
+    assert binomial_tail_bound(100, 0.1, 0) == 1.0
+    assert binomial_tail_bound(100, 0.1, 101) == 0.0
+    loose = binomial_tail_bound(100, 0.1, 15)
+    tight = binomial_tail_bound(100, 0.1, 40)
+    assert 0.0 <= tight <= loose <= 1.0
+    with pytest.raises(ValueError):
+        binomial_tail_bound(10, 1.5, 2)

@@ -1,0 +1,74 @@
+"""Tests for repro.utils.rand."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rand import RandomSource, iter_trial_rngs, resolve_seed_sequence, spawn_rngs
+
+
+def test_same_seed_gives_same_stream():
+    a = RandomSource(42)
+    b = RandomSource(42)
+    assert np.array_equal(a.integers(0, 100, size=10), b.integers(0, 100, size=10))
+
+
+def test_different_seeds_give_different_streams():
+    a = RandomSource(1)
+    b = RandomSource(2)
+    assert not np.array_equal(a.integers(0, 10**9, size=10), b.integers(0, 10**9, size=10))
+
+
+def test_spawned_children_are_independent_and_deterministic():
+    children_a = RandomSource(7).spawn(3)
+    children_b = RandomSource(7).spawn(3)
+    for ca, cb in zip(children_a, children_b):
+        assert np.array_equal(ca.integers(0, 10**6, size=5), cb.integers(0, 10**6, size=5))
+    draws = [tuple(c.integers(0, 10**9, size=4)) for c in RandomSource(7).spawn(3)]
+    assert len(set(draws)) == 3
+
+
+def test_child_of_random_source_seed():
+    parent = RandomSource(3)
+    child = RandomSource(parent)
+    assert isinstance(child, RandomSource)
+
+
+def test_spawn_negative_count_raises():
+    with pytest.raises(ValueError):
+        RandomSource(0).spawn(-1)
+
+
+def test_uniform_partners_shape_and_range():
+    rng = RandomSource(5)
+    partners = rng.uniform_partners(50, 3)
+    assert partners.shape == (50, 3)
+    assert partners.min() >= 0
+    assert partners.max() < 50
+
+
+def test_uniform_partners_validation():
+    rng = RandomSource(5)
+    with pytest.raises(ValueError):
+        rng.uniform_partners(0, 2)
+    with pytest.raises(ValueError):
+        rng.uniform_partners(5, -1)
+
+
+def test_spawn_rngs_and_iter_trial_rngs():
+    rngs = spawn_rngs(9, 4)
+    assert len(rngs) == 4
+    assert len(list(iter_trial_rngs(9, 4))) == 4
+
+
+def test_resolve_seed_sequence_deterministic():
+    a = resolve_seed_sequence([1, 2, 3])
+    b = resolve_seed_sequence([1, 2, 3])
+    assert np.array_equal(a.integers(0, 1000, size=5), b.integers(0, 1000, size=5))
+
+
+def test_permutation_and_choice():
+    rng = RandomSource(11)
+    perm = rng.permutation(np.arange(10))
+    assert sorted(perm.tolist()) == list(range(10))
+    picked = rng.choice(np.arange(10), size=3, replace=False)
+    assert len(set(picked.tolist())) == 3

@@ -1,0 +1,97 @@
+"""Tests for repro.utils.stats (rank / quantile conventions)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    empirical_quantile,
+    fraction_within_eps,
+    max_rank_error,
+    quantile_of_value,
+    rank_error,
+    rank_of_value,
+    target_rank,
+    value_at_rank,
+    within_eps,
+)
+
+
+def test_target_rank_is_ceil_phi_n():
+    assert target_rank(10, 0.0) == 1
+    assert target_rank(10, 0.05) == 1
+    assert target_rank(10, 0.5) == 5
+    assert target_rank(10, 0.51) == 6
+    assert target_rank(10, 1.0) == 10
+
+
+def test_target_rank_validation():
+    with pytest.raises(ValueError):
+        target_rank(0, 0.5)
+    with pytest.raises(ValueError):
+        target_rank(10, 1.5)
+
+
+def test_value_at_rank_and_empirical_quantile():
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    assert value_at_rank(values, 1) == 1.0
+    assert value_at_rank(values, 5) == 5.0
+    assert empirical_quantile(values, 0.5) == 3.0
+    assert empirical_quantile(values, 1.0) == 5.0
+    with pytest.raises(ValueError):
+        value_at_rank(values, 0)
+    with pytest.raises(ValueError):
+        value_at_rank(values, 6)
+
+
+def test_rank_and_quantile_of_value():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert rank_of_value(values, 25.0) == 2
+    assert rank_of_value(values, 5.0) == 0
+    assert quantile_of_value(values, 40.0) == 1.0
+    assert quantile_of_value(values, 10.0) == 0.25
+
+
+def test_rank_error_zero_when_estimate_is_exact_quantile():
+    values = np.arange(1.0, 101.0)
+    estimate = empirical_quantile(values, 0.37)
+    assert rank_error(values, estimate, 0.37) == 0.0
+
+
+def test_rank_error_measures_distance_in_quantile_space():
+    values = np.arange(1.0, 101.0)  # value v has quantile v/100
+    # value 60 as an estimate of the 0.5-quantile occupies the rank band
+    # [0.60, 0.60], so it needs eps >= 0.10 to be acceptable.
+    assert rank_error(values, 60.0, 0.5) == pytest.approx(0.10, abs=1e-9)
+    # estimates below the target
+    assert rank_error(values, 40.0, 0.5) == pytest.approx(0.10, abs=1e-9)
+
+
+def test_rank_error_with_duplicate_values_uses_the_band():
+    values = np.array([1.0, 2.0, 2.0, 2.0, 3.0])
+    # value 2 occupies quantiles 2/5..4/5; any phi inside has zero error
+    assert rank_error(values, 2.0, 0.5) == 0.0
+    assert rank_error(values, 2.0, 0.75) == 0.0
+    assert rank_error(values, 2.0, 1.0) > 0.0
+
+
+def test_within_eps_and_fraction_within_eps():
+    values = np.arange(1.0, 101.0)
+    assert within_eps(values, 52.0, 0.5, 0.05)
+    assert not within_eps(values, 60.0, 0.5, 0.05)
+    estimates = np.array([48.0, 50.0, 52.0, 70.0])
+    assert fraction_within_eps(values, estimates, 0.5, 0.05) == pytest.approx(0.75)
+
+
+def test_max_rank_error():
+    values = np.arange(1.0, 101.0)
+    estimates = np.array([50.0, 55.0])
+    assert max_rank_error(values, estimates, 0.5) == pytest.approx(0.05, abs=1e-9)
+
+
+def test_empty_and_invalid_inputs_raise():
+    with pytest.raises(ValueError):
+        empirical_quantile([], 0.5)
+    with pytest.raises(ValueError):
+        rank_error([1.0, 2.0], 1.0, 1.5)
+    with pytest.raises(ValueError):
+        within_eps([1.0, 2.0], 1.0, 0.5, -0.1)
