@@ -39,6 +39,7 @@ def count_leq(
     rounds: Optional[int] = None,
     failure_model: Union[None, float, FailureModel] = None,
     metrics: Optional[NetworkMetrics] = None,
+    engine: Optional[str] = None,
 ) -> CountResult:
     """Count, via gossip, how many node values are ``<= threshold``.
 
@@ -46,6 +47,10 @@ def count_leq(
     rounded count from node 0 (all nodes agree up to the push-sum error).
     ``exact`` reports whether *every* node's rounded estimate matches the
     true count — the condition the w.h.p. analysis guarantees.
+
+    The underlying push-sum run is batch-capable; ``engine`` selects the
+    execution path (``None`` defers to the process-wide default, which
+    dispatches counting to the vectorized engine).
     """
     array = np.asarray(values, dtype=float)
     if array.ndim != 1 or array.size < 2:
@@ -60,6 +65,7 @@ def count_leq(
         rounds=rounds,
         failure_model=failure_model,
         metrics=metrics,
+        engine=engine,
     )
     estimates = result.estimates * n
     true_count = int(indicators.sum())
@@ -80,6 +86,7 @@ def rank_of_min(
     rounds: Optional[int] = None,
     failure_model: Union[None, float, FailureModel] = None,
     metrics: Optional[NetworkMetrics] = None,
+    engine: Optional[str] = None,
 ) -> CountResult:
     """Step 5 of Algorithm 3: the rank of ``minimum`` among all node values."""
     return count_leq(
@@ -89,4 +96,5 @@ def rank_of_min(
         rounds=rounds,
         failure_model=failure_model,
         metrics=metrics,
+        engine=engine,
     )

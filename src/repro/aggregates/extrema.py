@@ -18,13 +18,22 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.gossip.engine import run_protocol
 from repro.gossip.failures import FailureModel
+from repro.gossip.messages import payload_bits
 from repro.gossip.metrics import NetworkMetrics
-from repro.gossip.protocol import Action, GossipProtocol
+from repro.gossip.protocol import Action, BatchAction, BatchGossipProtocol, GossipProtocol
 from repro.utils.rand import RandomSource
 
 
-class ExtremaProtocol(GossipProtocol):
-    """Push-pull forwarding of the extreme (min or max) value seen so far."""
+class ExtremaProtocol(BatchGossipProtocol, GossipProtocol):
+    """Push-pull forwarding of the extreme (min or max) value seen so far.
+
+    Pushes and pull responses both carry the sender's best value *as of the
+    start of the round* — the synchronous snapshot semantics of the uniform
+    gossip model (see :class:`repro.gossip.network.PullBatch`).  Because
+    min/max merges are exact and commutative, a round's outcome is
+    independent of delivery order, which is what lets the vectorized engine
+    reproduce the loop engine bit for bit.
+    """
 
     def __init__(
         self,
@@ -49,20 +58,45 @@ class ExtremaProtocol(GossipProtocol):
             else int(math.ceil(4 * math.log2(self.n) + 12))
         )
         self._stop_when_converged = stop_when_converged
+        self._snapshot = self._best.copy()
 
     def _better(self, a: float, b: float) -> float:
         return max(a, b) if self._mode == "max" else min(a, b)
 
+    def begin(self) -> None:
+        self._snapshot = self._best.copy()
+
+    def end_round(self, round_index: int) -> None:
+        self._snapshot = self._best.copy()
+
     def act(self, node: int, round_index: int) -> Action:
-        return Action.pushpull(float(self._best[node]))
+        return Action.pushpull(float(self._snapshot[node]))
 
     def serve_pull(self, node: int, requester: int, round_index: int) -> float:
-        return float(self._best[node])
+        return float(self._snapshot[node])
 
     def on_receive(self, node, payload, sender, kind, round_index) -> None:
         if payload is None:
             return
         self._best[node] = self._better(float(self._best[node]), float(payload))
+
+    # -- batch (vectorized-engine) interface --------------------------------------
+    def act_batch(self, round_index: int, alive: np.ndarray) -> BatchAction:
+        bits = payload_bits(0.0, n=self.n)
+        return BatchAction(
+            "pushpull",
+            payload=self._snapshot[alive],
+            push_bits=bits,
+            pull_bits=bits,
+        )
+
+    def receive_batch(self, round_index, alive, partners, action) -> None:
+        merge = np.maximum if self._mode == "max" else np.minimum
+        targets = partners[alive]
+        # pushes: scatter each alive node's snapshot value onto its partner
+        merge.at(self._best, targets, action.payload)
+        # pull responses: gather each partner's snapshot value
+        self._best[alive] = merge(self._best[alive], self._snapshot[targets])
 
     def is_done(self, round_index: int) -> bool:
         if round_index >= self._budget:
@@ -101,6 +135,7 @@ def spread_extrema(
     failure_model: Union[None, float, FailureModel] = None,
     max_rounds: Optional[int] = None,
     metrics: Optional[NetworkMetrics] = None,
+    engine: Optional[str] = None,
 ) -> ExtremaResult:
     """Spread the global min or max of ``values`` to every node."""
     protocol = ExtremaProtocol(values, mode=mode, max_rounds=max_rounds)
@@ -111,6 +146,7 @@ def spread_extrema(
         max_rounds=protocol._budget + 1,
         metrics=metrics,
         raise_on_budget=False,
+        engine=engine,
     )
     return ExtremaResult(
         values=np.asarray(result.outputs, dtype=float),

@@ -26,7 +26,7 @@ from repro.gossip.failures import FailureModel
 from repro.gossip.engine import EngineResult, run_protocol
 from repro.gossip.messages import BITS_HEADER, BITS_PER_VALUE, BITS_PER_WEIGHT, id_bits
 from repro.gossip.metrics import NetworkMetrics
-from repro.gossip.protocol import Action, GossipProtocol
+from repro.gossip.protocol import Action, BatchAction, BatchGossipProtocol, GossipProtocol
 from repro.utils.rand import RandomSource
 
 
@@ -45,7 +45,7 @@ def default_push_sum_rounds(n: int, relative_error: float = 1e-4) -> int:
     return int(math.ceil(2.5 * math.log2(n) + 1.5 * math.log2(1.0 / relative_error) + 10))
 
 
-class PushSumProtocol(GossipProtocol):
+class PushSumProtocol(BatchGossipProtocol, GossipProtocol):
     """The push-sum protocol as a :class:`GossipProtocol`.
 
     Parameters
@@ -102,6 +102,24 @@ class PushSumProtocol(GossipProtocol):
         self._s[node] += s_half
         self._w[node] += w_half
 
+    # -- batch (vectorized-engine) interface --------------------------------------
+    def act_batch(self, round_index: int, alive: np.ndarray) -> BatchAction:
+        s_half = self._s[alive] / 2.0
+        w_half = self._w[alive] / 2.0
+        self._s[alive] = s_half
+        self._w[alive] = w_half
+        return BatchAction(
+            "push", payload=(s_half, w_half), push_bits=self.message_bits(None)
+        )
+
+    def receive_batch(self, round_index, alive, partners, action) -> None:
+        s_half, w_half = action.payload
+        targets = partners[alive]
+        # ufunc.at accumulates in index order — the same order in which the
+        # loop engine delivers — so repeated targets sum bit-identically.
+        np.add.at(self._s, targets, s_half)
+        np.add.at(self._w, targets, w_half)
+
     def is_done(self, round_index: int) -> bool:
         return round_index >= self._rounds
 
@@ -151,6 +169,7 @@ def push_sum_average(
     rounds: Optional[int] = None,
     failure_model: Union[None, float, FailureModel] = None,
     metrics: Optional[NetworkMetrics] = None,
+    engine: Optional[str] = None,
 ) -> PushSumResult:
     """Estimate the average of ``values`` at every node via push-sum."""
     protocol = PushSumProtocol(values, rounds=rounds)
@@ -160,6 +179,7 @@ def push_sum_average(
         failure_model=failure_model,
         max_rounds=protocol._rounds + 1,
         metrics=metrics,
+        engine=engine,
     )
     return PushSumResult(
         estimates=np.asarray(result.outputs, dtype=float),
@@ -174,6 +194,7 @@ def push_sum_sum(
     rounds: Optional[int] = None,
     failure_model: Union[None, float, FailureModel] = None,
     metrics: Optional[NetworkMetrics] = None,
+    engine: Optional[str] = None,
 ) -> PushSumResult:
     """Estimate the *sum* of ``values`` at every node.
 
@@ -190,6 +211,7 @@ def push_sum_sum(
         failure_model=failure_model,
         max_rounds=protocol._rounds + 1,
         metrics=metrics,
+        engine=engine,
     )
     return PushSumResult(
         estimates=np.asarray(result.outputs, dtype=float),

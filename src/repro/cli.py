@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.approx_quantile import approximate_quantile
 from repro.core.exact_quantile import exact_quantile
 from repro.experiments.runner import REGISTRY, run_experiment
+from repro.gossip.engine import ENGINE_CHOICES, get_default_engine, set_default_engine
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,6 +47,14 @@ def _build_parser() -> argparse.ArgumentParser:
         exp.add_argument("--trials", type=int, default=None)
         exp.add_argument("--sizes", type=int, nargs="+", default=None)
         exp.add_argument("--seed", type=int, default=None)
+        exp.add_argument(
+            "--workers", type=int, default=None,
+            help="process-pool size for experiments with parallel trial support",
+        )
+        exp.add_argument(
+            "--engine", choices=ENGINE_CHOICES, default=None,
+            help="gossip engine: auto (default), loop, or vectorized",
+        )
 
     query = sub.add_parser("query", help="compute a quantile of a value file via gossip")
     query.add_argument("--input", required=True, help="text file with one value per line")
@@ -53,6 +62,10 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--eps", type=float, default=None,
                        help="approximation parameter; omit for the exact algorithm")
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default=None,
+        help="gossip engine: auto (default), loop, or vectorized",
+    )
     return parser
 
 
@@ -96,9 +109,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("\n".join(lines))
         return 0
     if args.command == "query":
-        print(_run_query(args))
+        previous_engine = get_default_engine()
+        if args.engine is not None:
+            set_default_engine(args.engine)
+        try:
+            print(_run_query(args))
+        finally:
+            set_default_engine(previous_engine)
         return 0
-    print(run_experiment(args.command, output=args.output, **_experiment_kwargs(args)))
+    print(
+        run_experiment(
+            args.command,
+            output=args.output,
+            engine=args.engine,
+            workers=args.workers,
+            **_experiment_kwargs(args),
+        )
+    )
     return 0
 
 

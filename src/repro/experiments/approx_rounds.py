@@ -4,11 +4,17 @@ Two sweeps: rounds vs. n at fixed ε (the curve should be nearly flat — the
 log log n term), and rounds vs. ε at fixed n (the curve should grow
 linearly in log 1/ε).  Every row also reports the measured rank error so
 the ε guarantee can be checked alongside the round counts.
+
+Trials are independent and dispatch through the parallel trial executor
+(:func:`repro.experiments.runner.run_trials`): each (n, ε, φ, trial) cell
+gets its own deterministic child seed, so the rows are identical for any
+``workers`` count.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,38 +39,54 @@ COLUMNS = [
 ]
 
 
+def _run_one_trial(
+    grid: Tuple[Tuple[int, float, float], ...], trial_index: int, rng: RandomSource
+) -> Dict[str, float]:
+    """One (n, eps, phi) trial; module-level so process pools can pickle it."""
+    n, eps, phi = grid[trial_index]
+    values = distinct_uniform(n, rng=rng.child())
+    result = approximate_quantile(values, phi=phi, eps=eps, rng=rng.child())
+    error = rank_error(values, result.estimate, phi)
+    return {
+        "error": error,
+        "rounds": result.rounds,
+        "success": int(error <= eps + 1e-12),
+        "node_success": fraction_within_eps(values, result.estimates, phi, eps),
+    }
+
+
 def run(
     sizes: Sequence[int] = (512, 1024, 2048, 4096, 8192),
     eps_values: Sequence[float] = (0.2, 0.1, 0.05),
     phis: Sequence[float] = (0.5, 0.9),
     trials: int = 3,
     seed: int = 2,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Run experiment E2 and return one row per (n, eps, phi)."""
-    rng = RandomSource(seed)
+    from repro.experiments.runner import run_trials
+
+    grid = tuple(
+        (n, eps, phi)
+        for n in sizes
+        for eps in eps_values
+        for phi in phis
+        for _ in range(trials)
+    )
+    outcomes = run_trials(
+        partial(_run_one_trial, grid), len(grid), seed=seed, workers=workers
+    )
+
     rows: List[Dict[str, float]] = []
+    cursor = 0
     for n in sizes:
         for eps in eps_values:
             for phi in phis:
-                errors = []
-                rounds = []
-                node_success = []
-                successes = 0
-                for _ in range(trials):
-                    trial_rng = rng.child()
-                    values = distinct_uniform(n, rng=trial_rng.child())
-                    result = approximate_quantile(
-                        values, phi=phi, eps=eps, rng=trial_rng.child()
-                    )
-                    error = rank_error(values, result.estimate, phi)
-                    errors.append(error)
-                    rounds.append(result.rounds)
-                    successes += int(error <= eps + 1e-12)
-                    node_success.append(
-                        fraction_within_eps(values, result.estimates, phi, eps)
-                    )
+                batch = outcomes[cursor : cursor + trials]
+                cursor += trials
                 reference = approx_rounds_reference(n, eps)
-                mean_rounds = float(np.mean(rounds))
+                mean_rounds = float(np.mean([b["rounds"] for b in batch]))
+                errors = [b["error"] for b in batch]
                 rows.append(
                     {
                         "n": n,
@@ -76,8 +98,10 @@ def run(
                         "rounds_per_reference": mean_rounds / reference,
                         "mean_error": float(np.mean(errors)),
                         "max_error": float(np.max(errors)),
-                        "success_fraction": successes / trials,
-                        "node_success_fraction": float(np.mean(node_success)),
+                        "success_fraction": sum(b["success"] for b in batch) / trials,
+                        "node_success_fraction": float(
+                            np.mean([b["node_success"] for b in batch])
+                        ),
                     }
                 )
     return rows

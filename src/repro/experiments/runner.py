@@ -1,12 +1,23 @@
-"""Experiment registry and uniform runner used by the CLI and benchmarks."""
+"""Experiment registry and uniform runner used by the CLI and benchmarks.
+
+Besides the registry this module provides :func:`run_trials`, the parallel
+multi-trial executor: every trial gets an independent child random stream
+spawned deterministically from the master seed (see :mod:`repro.utils.rand`),
+so results are identical whether trials run inline or across a process
+pool, and are always returned in trial order.
+"""
 
 from __future__ import annotations
 
+import inspect
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.tables import format_table, rows_to_csv
 from repro.exceptions import ConfigurationError
+from repro.gossip.engine import get_default_engine, set_default_engine
+from repro.utils.rand import RandomSource, SeedLike, spawn_rngs
 from repro.experiments import (
     ablations,
     approx_rounds,
@@ -106,9 +117,56 @@ REGISTRY: Dict[str, ExperimentSpec] = {
 }
 
 
+def run_trials(
+    task: Callable[[int, RandomSource], Any],
+    trials: int,
+    seed: SeedLike = None,
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Run ``task(trial_index, rng)`` once per trial, optionally in parallel.
+
+    Every trial receives an independent child :class:`RandomSource` spawned
+    from ``seed`` in trial order, so the set of random streams — and hence
+    every result — is the same for any worker count.  Results are returned
+    ordered by trial index regardless of completion order.
+
+    Parameters
+    ----------
+    task:
+        A picklable callable (module-level function or
+        :func:`functools.partial` of one) taking ``(trial_index, rng)``.
+    trials:
+        Number of trials to run.
+    seed:
+        Master seed; child streams are spawned deterministically from it.
+    workers:
+        ``None`` or ``<= 1`` runs inline; larger values use a
+        ``concurrent.futures`` process pool of that size.
+    """
+    if trials < 0:
+        raise ConfigurationError("trials must be non-negative")
+    rngs = spawn_rngs(seed, trials)
+    if workers is None or workers <= 1 or trials <= 1:
+        return [task(index, rng) for index, rng in enumerate(rngs)]
+    with ProcessPoolExecutor(
+        max_workers=min(workers, trials),
+        # Re-apply the parent's engine selection in every worker: with the
+        # spawn/forkserver start methods a fresh interpreter would otherwise
+        # fall back to the "auto" default and ignore an --engine override.
+        initializer=set_default_engine,
+        initargs=(get_default_engine(),),
+    ) as pool:
+        futures = [
+            pool.submit(task, index, rng) for index, rng in enumerate(rngs)
+        ]
+        return [future.result() for future in futures]
+
+
 def run_experiment(
     name: str,
     output: str = "table",
+    engine: Optional[str] = None,
+    workers: Optional[int] = None,
     **kwargs,
 ) -> str:
     """Run a registered experiment and render its result rows.
@@ -120,6 +178,13 @@ def run_experiment(
     output:
         ``"table"`` (aligned text), ``"csv"``, or ``"rows"`` (repr of the raw
         row dictionaries).
+    engine:
+        Optional gossip engine override (``"auto"``, ``"loop"`` or
+        ``"vectorized"``) applied for the duration of the experiment.
+    workers:
+        Optional process-pool size for experiments whose ``run`` function
+        supports parallel trials; asking for parallelism from one that does
+        not is an error (``workers=1`` is always accepted).
     kwargs:
         Forwarded to the experiment's ``run`` function (sizes, trials, ...).
     """
@@ -129,7 +194,21 @@ def run_experiment(
         raise ConfigurationError(
             f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
         ) from None
-    rows = spec.run(**kwargs)
+    if workers is not None:
+        if "workers" in inspect.signature(spec.run).parameters:
+            kwargs["workers"] = workers
+        elif workers > 1:
+            raise ConfigurationError(
+                f"experiment {name!r} does not support parallel trials"
+            )
+    previous_engine = get_default_engine()
+    if engine is not None:
+        set_default_engine(engine)
+    try:
+        rows = spec.run(**kwargs)
+    finally:
+        if engine is not None:
+            set_default_engine(previous_engine)
     if output == "rows":
         return repr(rows)
     if output == "csv":

@@ -14,7 +14,10 @@ Two execution surfaces are provided:
   gather; the network keeps exact round / message / bit accounting.
 * :func:`~repro.gossip.engine.run_protocol` — a message-level engine for
   protocols whose state is richer than a single value (push-sum, extrema
-  spreading, rumor broadcast, token distribution).
+  spreading, rumor broadcast, token distribution).  Protocols implementing
+  the :class:`~repro.gossip.protocol.BatchGossipProtocol` mixin execute on
+  a vectorized engine that runs each round as array gathers/scatters and is
+  bit-identical to the per-node reference loop.
 """
 
 from repro.gossip.failures import (
@@ -26,8 +29,22 @@ from repro.gossip.failures import (
 from repro.gossip.messages import Message, payload_bits
 from repro.gossip.metrics import NetworkMetrics, RoundRecord
 from repro.gossip.network import GossipNetwork, PullBatch
-from repro.gossip.protocol import Action, GossipProtocol
-from repro.gossip.engine import EngineResult, run_protocol
+from repro.gossip.protocol import (
+    Action,
+    BatchAction,
+    BatchGossipProtocol,
+    GossipProtocol,
+)
+from repro.gossip.engine import (
+    ENGINE_CHOICES,
+    EngineResult,
+    get_default_engine,
+    run_protocol,
+    run_protocol_loop,
+    run_protocol_vectorized,
+    set_default_engine,
+    supports_batch,
+)
 
 __all__ = [
     "FailureModel",
@@ -41,7 +58,15 @@ __all__ = [
     "GossipNetwork",
     "PullBatch",
     "Action",
+    "BatchAction",
+    "BatchGossipProtocol",
     "GossipProtocol",
+    "ENGINE_CHOICES",
     "EngineResult",
+    "get_default_engine",
     "run_protocol",
+    "run_protocol_loop",
+    "run_protocol_vectorized",
+    "set_default_engine",
+    "supports_batch",
 ]

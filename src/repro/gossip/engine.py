@@ -1,18 +1,67 @@
-"""Synchronous round loop for message-level gossip protocols."""
+"""Synchronous round engines for message-level gossip protocols.
+
+Two engines execute the same synchronous-round semantics:
+
+* :func:`run_protocol_loop` — the reference engine: a Python loop over the
+  nodes, one :meth:`~repro.gossip.protocol.GossipProtocol.act` /
+  ``on_receive`` call per node per round.  Simple, general, slow.
+* :func:`run_protocol_vectorized` — executes a whole round as numpy array
+  gathers/scatters for protocols implementing
+  :class:`~repro.gossip.protocol.BatchGossipProtocol`.  Bit-identical to
+  the loop engine (the equivalence suite enforces this) and one to two
+  orders of magnitude faster at large ``n``.
+
+:func:`run_protocol` dispatches between them; by default batch-capable
+protocols take the vectorized path.  Both engines draw their randomness
+(failure masks, then partners) through the same calls in the same order,
+so a fixed seed yields the same execution under either engine.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Union
+from typing import Any, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import ConvergenceError, ProtocolError
+from repro.exceptions import ConfigurationError, ConvergenceError, ProtocolError
 from repro.gossip.failures import FailureModel, resolve_failure_model
 from repro.gossip.messages import payload_bits
-from repro.gossip.metrics import NetworkMetrics
-from repro.gossip.protocol import Action, GossipProtocol
+from repro.gossip.metrics import NetworkMetrics, RoundRecord
+from repro.gossip.protocol import Action, BatchAction, BatchGossipProtocol, GossipProtocol
 from repro.utils.rand import RandomSource
+
+#: Valid values for the ``engine`` argument of :func:`run_protocol`.
+ENGINE_CHOICES = ("auto", "loop", "vectorized")
+
+_default_engine = "auto"
+
+
+def set_default_engine(name: str) -> None:
+    """Set the engine :func:`run_protocol` uses when none is requested.
+
+    ``"auto"`` (the default) picks the vectorized engine for batch-capable
+    protocols and the loop engine otherwise; ``"loop"`` / ``"vectorized"``
+    force one path globally (the CLI's ``--engine`` flag sets this).
+    """
+    global _default_engine
+    if name not in ENGINE_CHOICES:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; choose from {ENGINE_CHOICES}"
+        )
+    _default_engine = name
+
+
+def get_default_engine() -> str:
+    """The engine name used when :func:`run_protocol` gets ``engine=None``."""
+    return _default_engine
+
+
+def supports_batch(protocol: GossipProtocol) -> bool:
+    """Whether ``protocol`` can run on the vectorized engine."""
+    return isinstance(protocol, BatchGossipProtocol) and bool(
+        getattr(protocol, "supports_batch", False)
+    )
 
 
 @dataclass
@@ -27,7 +76,74 @@ class EngineResult:
     extra: dict = field(default_factory=dict)
 
 
-def run_protocol(
+def draw_round_partners(source: RandomSource, n: int) -> np.ndarray:
+    """Draw each node's uniformly random partner for one round.
+
+    Partners are uniform among the *other* ``n - 1`` nodes: an initial
+    uniform draw over all ``n`` nodes followed by re-draws of self-contacts
+    (a constant expected number of re-draws).  Both engines use this helper,
+    so they consume the random stream identically.
+    """
+    partners = source.integers(0, n, size=n)
+    own = np.arange(n)
+    mask = partners == own
+    while np.any(mask):
+        partners[mask] = source.integers(0, n, size=int(mask.sum()))
+        mask = partners == own
+    return partners
+
+
+def _begin_run(
+    protocol: GossipProtocol,
+    rng: Union[None, int, RandomSource],
+    failure_model: Union[None, float, FailureModel],
+    metrics: Optional[NetworkMetrics],
+) -> Tuple[RandomSource, FailureModel, NetworkMetrics]:
+    source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+    failures = resolve_failure_model(failure_model)
+    stats = metrics if metrics is not None else NetworkMetrics()
+    protocol.begin()
+    return source, failures, stats
+
+
+def _finish_run(
+    protocol: GossipProtocol,
+    stats: NetworkMetrics,
+    rounds: int,
+    completed: bool,
+    max_rounds: int,
+    raise_on_budget: bool,
+) -> EngineResult:
+    if not completed and raise_on_budget:
+        raise ConvergenceError(
+            f"protocol {protocol.name!r} did not finish within {max_rounds} rounds"
+        )
+    return EngineResult(
+        outputs=protocol.outputs(),
+        metrics=stats,
+        rounds=rounds,
+        completed=completed,
+        protocol_name=protocol.name,
+    )
+
+
+def _begin_round(
+    protocol: GossipProtocol,
+    round_index: int,
+    n: int,
+    source: RandomSource,
+    failures: FailureModel,
+    stats: NetworkMetrics,
+) -> Tuple[RoundRecord, np.ndarray, np.ndarray]:
+    """Shared per-round prologue: accounting, failure mask, partner draw."""
+    record = stats.begin_round(label=protocol.name)
+    failed = failures.failure_mask(round_index, n, source)
+    stats.record_failures(int(failed.sum()), record)
+    partners = draw_round_partners(source, n)
+    return record, failed, partners
+
+
+def run_protocol_loop(
     protocol: GossipProtocol,
     rng: Union[None, int, RandomSource] = None,
     failure_model: Union[None, float, FailureModel] = None,
@@ -35,7 +151,7 @@ def run_protocol(
     metrics: Optional[NetworkMetrics] = None,
     raise_on_budget: bool = True,
 ) -> EngineResult:
-    """Run ``protocol`` until it reports completion.
+    """Run ``protocol`` on the per-node reference engine.
 
     Parameters
     ----------
@@ -52,27 +168,14 @@ def run_protocol(
         Optionally accumulate into an existing metrics object.
     """
     n = protocol.n
-    source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
-    failures = resolve_failure_model(failure_model)
-    stats = metrics if metrics is not None else NetworkMetrics()
+    source, failures, stats = _begin_run(protocol, rng, failure_model, metrics)
 
-    protocol.begin()
     round_index = 0
-    completed = False
-    while round_index < max_rounds:
-        if protocol.is_done(round_index):
-            completed = True
-            break
-        record = stats.begin_round(label=protocol.name)
-        failed = failures.failure_mask(round_index, n, source)
-        stats.record_failures(int(failed.sum()), record)
-        partners = source.integers(0, n, size=n)
-        # re-draw self contacts (uniform among *other* nodes)
-        own = np.arange(n)
-        mask = partners == own
-        while np.any(mask):
-            partners[mask] = source.integers(0, n, size=int(mask.sum()))
-            mask = partners == own
+    completed = protocol.is_done(round_index)
+    while not completed and round_index < max_rounds:
+        record, failed, partners = _begin_round(
+            protocol, round_index, n, source, failures, stats
+        )
 
         actions: List[Optional[Action]] = [None] * n
         for node in range(n):
@@ -108,21 +211,91 @@ def run_protocol(
 
         protocol.end_round(round_index)
         round_index += 1
-    else:  # pragma: no cover - loop exhausted without break
-        pass
+        completed = protocol.is_done(round_index)
 
-    if not completed:
-        if protocol.is_done(round_index):
-            completed = True
-        elif raise_on_budget:
-            raise ConvergenceError(
-                f"protocol {protocol.name!r} did not finish within {max_rounds} rounds"
+    return _finish_run(protocol, stats, round_index, completed, max_rounds, raise_on_budget)
+
+
+def run_protocol_vectorized(
+    protocol: GossipProtocol,
+    rng: Union[None, int, RandomSource] = None,
+    failure_model: Union[None, float, FailureModel] = None,
+    max_rounds: int = 10_000,
+    metrics: Optional[NetworkMetrics] = None,
+    raise_on_budget: bool = True,
+) -> EngineResult:
+    """Run a batch-capable protocol one whole round per numpy operation.
+
+    Semantically identical to :func:`run_protocol_loop` — same random
+    stream, same accounting, bit-identical outputs — but each round costs
+    a handful of array operations instead of ``O(n)`` Python calls.
+    """
+    if not supports_batch(protocol):
+        raise ProtocolError(
+            f"protocol {protocol.name!r} does not implement the batch API; "
+            "run it on the loop engine instead"
+        )
+    n = protocol.n
+    source, failures, stats = _begin_run(protocol, rng, failure_model, metrics)
+
+    round_index = 0
+    completed = protocol.is_done(round_index)
+    while not completed and round_index < max_rounds:
+        record, failed, partners = _begin_round(
+            protocol, round_index, n, source, failures, stats
+        )
+        alive = ~failed
+
+        action = protocol.act_batch(round_index, alive)
+        if not isinstance(action, BatchAction):
+            raise ProtocolError(
+                f"{protocol.name}: act_batch() must return a BatchAction, "
+                f"got {action!r}"
             )
+        active = int(alive.sum())
+        if action.kind != "idle" and active > 0:
+            if action.kind in ("push", "pushpull"):
+                stats.record_messages(active, int(action.push_bits), record)
+            if action.kind in ("pull", "pushpull"):
+                stats.record_messages(active, int(action.pull_bits), record)
+            protocol.receive_batch(round_index, alive, partners, action)
 
-    return EngineResult(
-        outputs=protocol.outputs(),
-        metrics=stats,
-        rounds=round_index,
-        completed=completed,
-        protocol_name=protocol.name,
+        protocol.end_round(round_index)
+        round_index += 1
+        completed = protocol.is_done(round_index)
+
+    return _finish_run(protocol, stats, round_index, completed, max_rounds, raise_on_budget)
+
+
+def run_protocol(
+    protocol: GossipProtocol,
+    rng: Union[None, int, RandomSource] = None,
+    failure_model: Union[None, float, FailureModel] = None,
+    max_rounds: int = 10_000,
+    metrics: Optional[NetworkMetrics] = None,
+    raise_on_budget: bool = True,
+    engine: Optional[str] = None,
+) -> EngineResult:
+    """Run ``protocol`` until it reports completion.
+
+    Dispatches to :func:`run_protocol_vectorized` when the protocol is
+    batch-capable (or ``engine="vectorized"`` is forced) and to
+    :func:`run_protocol_loop` otherwise.  ``engine=None`` defers to
+    :func:`get_default_engine`.
+    """
+    choice = engine if engine is not None else _default_engine
+    if choice not in ENGINE_CHOICES:
+        raise ConfigurationError(
+            f"unknown engine {choice!r}; choose from {ENGINE_CHOICES}"
+        )
+    if choice == "auto":
+        choice = "vectorized" if supports_batch(protocol) else "loop"
+    runner = run_protocol_vectorized if choice == "vectorized" else run_protocol_loop
+    return runner(
+        protocol,
+        rng=rng,
+        failure_model=failure_model,
+        max_rounds=max_rounds,
+        metrics=metrics,
+        raise_on_budget=raise_on_budget,
     )

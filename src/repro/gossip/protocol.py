@@ -12,6 +12,8 @@ import abc
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class Action:
@@ -108,3 +110,94 @@ class GossipProtocol(abc.ABC):
     def message_bits(self, payload: Any) -> Optional[int]:
         """Bit size of a payload; ``None`` means "use the default estimator"."""
         return None
+
+
+@dataclass(frozen=True)
+class BatchAction:
+    """What *all alive nodes* do in one vectorized round.
+
+    The vectorized engine (:func:`repro.gossip.engine.run_protocol_vectorized`)
+    executes a whole synchronous round as array operations, so instead of one
+    :class:`Action` per node a protocol returns a single :class:`BatchAction`
+    describing the uniform behaviour of every node that did not fail.
+
+    Attributes
+    ----------
+    kind:
+        ``"push"``, ``"pull"``, ``"pushpull"`` or ``"idle"`` — the same
+        vocabulary as :class:`Action`, applied to every alive node.
+    payload:
+        Protocol-specific array data for the alive nodes (e.g. the
+        ``(s_half, w_half)`` arrays of push-sum).  The engine never inspects
+        it; it is handed back verbatim to :meth:`BatchGossipProtocol.receive_batch`.
+    push_bits:
+        Accounted size of each pushed message.  Required for ``push`` and
+        ``pushpull`` actions.
+    pull_bits:
+        Accounted size of each pull response.  Required for ``pull`` and
+        ``pushpull`` actions.
+    """
+
+    kind: str
+    payload: Any = None
+    push_bits: Optional[int] = None
+    pull_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("push", "pull", "pushpull", "idle"):
+            raise ValueError(f"unknown batch action kind: {self.kind!r}")
+        if self.kind in ("push", "pushpull") and self.push_bits is None:
+            raise ValueError(f"{self.kind!r} batch actions must declare push_bits")
+        if self.kind in ("pull", "pushpull") and self.pull_bits is None:
+            raise ValueError(f"{self.kind!r} batch actions must declare pull_bits")
+
+
+class BatchGossipProtocol:
+    """Mixin marking a :class:`GossipProtocol` as vectorized-engine capable.
+
+    A batch-capable protocol implements one synchronous round as two array
+    operations, mirroring the ``PullBatch`` gather idiom of
+    :mod:`repro.gossip.network`:
+
+    1. :meth:`act_batch` applies the act-phase state transition for every
+       alive node (e.g. push-sum halves its pairs) and returns a
+       :class:`BatchAction` describing what the alive nodes send;
+    2. :meth:`receive_batch` applies all deliveries at once — pushes as a
+       scatter onto ``partners[alive]``, pull responses as a gather from the
+       round-start snapshot.
+
+    Implementations must be *delivery-order independent* so that the
+    vectorized round is bit-identical to the sequential loop engine: merge
+    operators must be exact and commutative (min/max), or the protocol must
+    scatter with :func:`numpy.ufunc.at` which accumulates in index order —
+    the same order in which the loop engine delivers.  The equivalence suite
+    (``tests/test_engine_equivalence.py``) locks this contract down.
+    """
+
+    #: Flipping this to False opts a subclass out of vectorized dispatch.
+    supports_batch: bool = True
+
+    def act_batch(self, round_index: int, alive: np.ndarray) -> BatchAction:
+        """Vectorized :meth:`GossipProtocol.act` over all alive nodes.
+
+        ``alive`` is a length-``n`` boolean mask (True = the node acts this
+        round).  Must perform exactly the state mutation the per-node
+        ``act`` calls would, restricted to the alive nodes.
+        """
+        raise NotImplementedError
+
+    def receive_batch(
+        self,
+        round_index: int,
+        alive: np.ndarray,
+        partners: np.ndarray,
+        action: BatchAction,
+    ) -> None:
+        """Vectorized delivery of one round's messages.
+
+        ``partners`` is the length-``n`` partner array drawn by the engine
+        (entries for failed nodes are present but must be ignored).  The
+        protocol applies pushes to ``partners[alive]`` and pull responses to
+        the alive nodes themselves.
+        """
+        raise NotImplementedError

@@ -1,0 +1,177 @@
+"""Engine-equivalence suite: the vectorized engine must be bit-identical
+to the per-node reference loop for every batch-capable protocol.
+
+For each protocol, both engines run from identical seeds across a grid of
+network sizes and failure rates; outputs, round counts, message counts,
+bit totals and the full per-round metric history must match exactly — not
+approximately.  This is the contract that lets the rest of the library
+dispatch to the vectorized path blindly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregates.counting import count_leq
+from repro.aggregates.extrema import ExtremaProtocol, spread_extrema
+from repro.aggregates.push_sum import PushSumProtocol, push_sum_average, push_sum_sum
+from repro.exceptions import ProtocolError
+from repro.gossip.engine import (
+    run_protocol,
+    run_protocol_loop,
+    run_protocol_vectorized,
+    supports_batch,
+)
+from repro.gossip.protocol import BatchAction, BatchGossipProtocol
+from repro.utils.rand import RandomSource
+
+
+def _values(n, seed):
+    return RandomSource(seed).random(n) * 100.0
+
+
+def make_push_sum(n, seed):
+    return PushSumProtocol(_values(n, seed), rounds=25)
+
+
+def make_push_sum_weighted(n, seed):
+    weights = np.zeros(n)
+    weights[0] = 1.0
+    return PushSumProtocol(_values(n, seed), weights=weights, rounds=25)
+
+
+def make_extrema_max(n, seed):
+    return ExtremaProtocol(_values(n, seed), mode="max")
+
+
+def make_extrema_min(n, seed):
+    return ExtremaProtocol(_values(n, seed), mode="min")
+
+
+FACTORIES = [
+    make_push_sum,
+    make_push_sum_weighted,
+    make_extrema_max,
+    make_extrema_min,
+]
+
+GRID = [
+    (n, mu, seed)
+    for n in (16, 64, 257)
+    for mu in (0.0, 0.3)
+    for seed in (0, 11)
+]
+
+
+def _run_both(factory, n, mu, seed):
+    failure = mu if mu > 0 else None
+    loop = run_protocol_loop(
+        factory(n, seed), rng=seed, failure_model=failure, raise_on_budget=False
+    )
+    vec = run_protocol_vectorized(
+        factory(n, seed), rng=seed, failure_model=failure, raise_on_budget=False
+    )
+    return loop, vec
+
+
+def _assert_identical(loop, vec):
+    assert loop.outputs == vec.outputs  # exact, not approximate
+    assert loop.rounds == vec.rounds
+    assert loop.completed == vec.completed
+    assert loop.metrics.summary() == vec.metrics.summary()
+    assert len(loop.metrics.history) == len(vec.metrics.history)
+    for a, b in zip(loop.metrics.history, vec.metrics.history):
+        assert (a.round_index, a.label) == (b.round_index, b.label)
+        assert a.messages == b.messages
+        assert a.bits == b.bits
+        assert a.max_message_bits == b.max_message_bits
+        assert a.failed_nodes == b.failed_nodes
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=lambda f: f.__name__)
+@pytest.mark.parametrize("n,mu,seed", GRID)
+def test_loop_and_vectorized_engines_are_bit_identical(factory, n, mu, seed):
+    loop, vec = _run_both(factory, n, mu, seed)
+    _assert_identical(loop, vec)
+
+
+@pytest.mark.parametrize("mu", [0.0, 0.4])
+def test_count_leq_identical_across_engines(mu):
+    values = _values(80, seed=5)
+    failure = mu if mu > 0 else None
+    a = count_leq(values, threshold=50.0, rng=3, failure_model=failure, engine="loop")
+    b = count_leq(
+        values, threshold=50.0, rng=3, failure_model=failure, engine="vectorized"
+    )
+    assert np.array_equal(a.estimates, b.estimates)
+    assert a.count == b.count
+    assert a.exact == b.exact
+    assert a.rounds == b.rounds
+    assert a.metrics.summary() == b.metrics.summary()
+
+
+def test_wrapper_functions_identical_across_engines():
+    values = _values(60, seed=8)
+    for fn, kwargs in [
+        (push_sum_average, {}),
+        (push_sum_sum, {}),
+        (spread_extrema, {"mode": "min"}),
+    ]:
+        a = fn(values, rng=4, engine="loop", **kwargs)
+        b = fn(values, rng=4, engine="vectorized", **kwargs)
+        first = a.estimates if hasattr(a, "estimates") else a.values
+        second = b.estimates if hasattr(b, "estimates") else b.values
+        assert np.array_equal(first, second)
+        assert a.rounds == b.rounds
+        assert a.metrics.summary() == b.metrics.summary()
+
+
+def test_auto_dispatch_selects_vectorized_for_batch_protocols():
+    protocol = make_push_sum(32, seed=1)
+    assert supports_batch(protocol)
+    auto = run_protocol(make_push_sum(32, seed=1), rng=2, engine="auto")
+    vec = run_protocol_vectorized(make_push_sum(32, seed=1), rng=2)
+    assert auto.outputs == vec.outputs
+    assert auto.metrics.summary() == vec.metrics.summary()
+
+
+def test_vectorized_engine_rejects_loop_only_protocols():
+    from repro.aggregates.broadcast import BroadcastProtocol
+
+    protocol = BroadcastProtocol(16)
+    assert not supports_batch(protocol)
+    with pytest.raises(ProtocolError):
+        run_protocol_vectorized(protocol, rng=0)
+    # auto dispatch falls back to the loop engine without error
+    result = run_protocol(BroadcastProtocol(16), rng=0, engine="auto",
+                          raise_on_budget=False)
+    assert result.rounds > 0
+
+
+def test_opting_out_of_batch_support_falls_back_to_loop():
+    class OptedOut(PushSumProtocol):
+        supports_batch = False
+
+    protocol = OptedOut(_values(16, seed=2), rounds=5)
+    assert not supports_batch(protocol)
+    with pytest.raises(ProtocolError):
+        run_protocol_vectorized(protocol, rng=1)
+
+
+def test_batch_action_validation():
+    with pytest.raises(ValueError):
+        BatchAction("teleport", push_bits=1)
+    with pytest.raises(ValueError):
+        BatchAction("push")  # push_bits missing
+    with pytest.raises(ValueError):
+        BatchAction("pushpull", push_bits=10)  # pull_bits missing
+    action = BatchAction("pushpull", push_bits=10, pull_bits=12)
+    assert (action.push_bits, action.pull_bits) == (10, 12)
+
+
+def test_malformed_act_batch_raises_protocol_error():
+    class Broken(PushSumProtocol):
+        def act_batch(self, round_index, alive):
+            return "not a batch action"
+
+    with pytest.raises(ProtocolError):
+        run_protocol_vectorized(Broken(_values(8, seed=3), rounds=3), rng=1)

@@ -135,3 +135,73 @@ def test_engine_determinism():
     run_protocol(a, rng=7)
     run_protocol(b, rng=7)
     assert np.array_equal(a.received, b.received)
+
+
+def test_completion_exactly_at_budget_reports_completed():
+    # The protocol becomes done exactly when the budget runs out; the engine
+    # must report completion instead of raising (the old post-loop
+    # double-check existed to catch this boundary — the restructured loop
+    # covers it by evaluating is_done after the final round).
+    protocol = CountingProtocol(10, rounds=5)
+    result = run_protocol(protocol, rng=1, max_rounds=5)
+    assert result.completed
+    assert result.rounds == 5
+
+
+def test_budget_zero_rounds():
+    protocol = CountingProtocol(10, rounds=0)
+    result = run_protocol(protocol, rng=1, max_rounds=5)
+    assert result.completed
+    assert result.rounds == 0
+    assert result.metrics.messages == 0
+
+
+def test_raise_on_budget_false_returns_partial_result():
+    class NeverDone(CountingProtocol):
+        def is_done(self, round_index: int) -> bool:
+            return False
+
+    protocol = NeverDone(12, rounds=1)
+    result = run_protocol(
+        protocol, rng=6, max_rounds=4, raise_on_budget=False
+    )
+    assert not result.completed
+    assert result.rounds == 4
+    # the partial run still did real work and accounted for it
+    assert result.metrics.messages == 12 * 4
+    assert result.outputs == protocol.received.tolist()
+
+
+def test_raise_on_budget_false_on_vectorized_engine():
+    from repro.aggregates.push_sum import PushSumProtocol
+    from repro.gossip.engine import run_protocol_vectorized
+
+    protocol = PushSumProtocol(np.arange(1.0, 17.0), rounds=50)
+    result = run_protocol_vectorized(
+        protocol, rng=3, max_rounds=10, raise_on_budget=False
+    )
+    assert not result.completed
+    assert result.rounds == 10
+
+    with pytest.raises(ConvergenceError):
+        run_protocol_vectorized(
+            PushSumProtocol(np.arange(1.0, 17.0), rounds=50), rng=3, max_rounds=10
+        )
+
+
+def test_engine_selection_validates_name():
+    from repro.exceptions import ConfigurationError
+    from repro.gossip.engine import set_default_engine
+
+    with pytest.raises(ConfigurationError):
+        run_protocol(CountingProtocol(8, rounds=1), rng=1, engine="warp")
+    with pytest.raises(ConfigurationError):
+        set_default_engine("warp")
+
+
+def test_forced_loop_engine_matches_default_for_plain_protocols():
+    a = CountingProtocol(30, rounds=5)
+    b = CountingProtocol(30, rounds=5)
+    run_protocol(a, rng=7, engine="loop")
+    run_protocol(b, rng=7)  # auto → loop for non-batch protocols
+    assert np.array_equal(a.received, b.received)

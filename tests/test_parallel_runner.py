@@ -1,0 +1,97 @@
+"""Determinism and ordering tests for the parallel multi-trial executor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.approx_rounds import run as run_approx
+from repro.experiments.runner import run_experiment, run_trials
+
+
+def _draw_task(trial_index, rng):
+    """Module-level so the process pool can pickle it."""
+    return (trial_index, int(rng.integers(0, 1_000_000)))
+
+
+def _failing_task(trial_index, rng):
+    if trial_index == 2:
+        raise RuntimeError("boom")
+    return trial_index
+
+
+def _engine_probe_task(trial_index, rng):
+    from repro.gossip.engine import get_default_engine
+
+    return get_default_engine()
+
+
+def test_run_trials_is_deterministic_across_worker_counts():
+    inline = run_trials(_draw_task, 8, seed=13, workers=1)
+    pooled = run_trials(_draw_task, 8, seed=13, workers=4)
+    assert inline == pooled
+
+
+def test_run_trials_preserves_trial_order():
+    results = run_trials(_draw_task, 6, seed=0, workers=3)
+    assert [index for index, _ in results] == list(range(6))
+
+
+def test_run_trials_gives_each_trial_an_independent_stream():
+    draws = [value for _, value in run_trials(_draw_task, 10, seed=5)]
+    assert len(set(draws)) > 1
+
+
+def test_run_trials_propagates_worker_exceptions():
+    with pytest.raises(RuntimeError, match="boom"):
+        run_trials(_failing_task, 4, seed=0, workers=2)
+
+
+def test_run_trials_rejects_negative_trials():
+    with pytest.raises(ConfigurationError):
+        run_trials(_draw_task, -1, seed=0)
+
+
+def test_approx_rounds_rows_identical_for_any_worker_count():
+    kwargs = dict(
+        sizes=(64, 128), eps_values=(0.2,), phis=(0.5,), trials=2, seed=9
+    )
+    serial = run_approx(workers=1, **kwargs)
+    parallel = run_approx(workers=4, **kwargs)
+    assert serial == parallel
+
+
+def test_run_experiment_forwards_workers_and_engine():
+    kwargs = dict(sizes=[64], eps_values=(0.2,), phis=(0.5,), trials=2, seed=9)
+    serial = run_experiment("approx-rounds", output="rows", workers=1, **kwargs)
+    parallel = run_experiment(
+        "approx-rounds", output="rows", workers=2, engine="vectorized", **kwargs
+    )
+    assert serial == parallel
+
+
+def test_run_experiment_rejects_parallelism_without_support():
+    with pytest.raises(ConfigurationError):
+        run_experiment("tokens", output="rows", workers=4)
+
+
+def test_engine_override_propagates_to_pool_workers():
+    from repro.gossip.engine import get_default_engine, set_default_engine
+
+    before = get_default_engine()
+    set_default_engine("loop")
+    try:
+        seen = set(run_trials(_engine_probe_task, 4, seed=0, workers=2))
+    finally:
+        set_default_engine(before)
+    assert seen == {"loop"}
+
+
+def test_run_experiment_restores_default_engine():
+    from repro.gossip.engine import get_default_engine
+
+    before = get_default_engine()
+    run_experiment(
+        "approx-rounds", output="rows", engine="loop",
+        sizes=[64], eps_values=(0.2,), phis=(0.5,), trials=1, seed=1,
+    )
+    assert get_default_engine() == before
