@@ -32,6 +32,7 @@ from repro.gossip import (
     PerNodeFailures,
     UniformFailures,
 )
+from repro.topology import Topology, build_topology
 from repro.utils.rand import RandomSource
 from repro.utils.stats import (
     empirical_quantile,
@@ -56,6 +57,8 @@ __all__ = [
     "NoFailures",
     "UniformFailures",
     "PerNodeFailures",
+    "Topology",
+    "build_topology",
     "RandomSource",
     "empirical_quantile",
     "quantile_of_value",

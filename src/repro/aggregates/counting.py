@@ -40,6 +40,8 @@ def count_leq(
     failure_model: Union[None, float, FailureModel] = None,
     metrics: Optional[NetworkMetrics] = None,
     engine: Optional[str] = None,
+    topology=None,
+    peer_sampling: str = "uniform",
 ) -> CountResult:
     """Count, via gossip, how many node values are ``<= threshold``.
 
@@ -66,6 +68,8 @@ def count_leq(
         failure_model=failure_model,
         metrics=metrics,
         engine=engine,
+        topology=topology,
+        peer_sampling=peer_sampling,
     )
     estimates = result.estimates * n
     true_count = int(indicators.sum())
@@ -87,6 +91,8 @@ def rank_of_min(
     failure_model: Union[None, float, FailureModel] = None,
     metrics: Optional[NetworkMetrics] = None,
     engine: Optional[str] = None,
+    topology=None,
+    peer_sampling: str = "uniform",
 ) -> CountResult:
     """Step 5 of Algorithm 3: the rank of ``minimum`` among all node values."""
     return count_leq(
@@ -97,4 +103,6 @@ def rank_of_min(
         failure_model=failure_model,
         metrics=metrics,
         engine=engine,
+        topology=topology,
+        peer_sampling=peer_sampling,
     )

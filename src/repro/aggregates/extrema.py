@@ -136,6 +136,8 @@ def spread_extrema(
     max_rounds: Optional[int] = None,
     metrics: Optional[NetworkMetrics] = None,
     engine: Optional[str] = None,
+    topology=None,
+    peer_sampling: str = "uniform",
 ) -> ExtremaResult:
     """Spread the global min or max of ``values`` to every node."""
     protocol = ExtremaProtocol(values, mode=mode, max_rounds=max_rounds)
@@ -147,6 +149,8 @@ def spread_extrema(
         metrics=metrics,
         raise_on_budget=False,
         engine=engine,
+        topology=topology,
+        peer_sampling=peer_sampling,
     )
     return ExtremaResult(
         values=np.asarray(result.outputs, dtype=float),

@@ -57,7 +57,13 @@ class PushSumProtocol(BatchGossipProtocol, GossipProtocol):
         converges to the average).  For a *sum*, give weight 1 to a single
         node and 0 to all others.
     rounds:
-        Number of rounds to run.
+        Number of rounds to run (a hard budget when ``tolerance`` is set).
+    tolerance:
+        Optional early-stopping criterion: terminate once the relative
+        spread of the per-node estimates ``s/w`` — ``(max - min) / |mean|``
+        — drops below this value.  ``None`` (the default) keeps the
+        historical fixed-round behaviour.  Topology experiments use this to
+        *measure* convergence rounds rather than assume them.
     """
 
     name = "push-sum"
@@ -67,6 +73,7 @@ class PushSumProtocol(BatchGossipProtocol, GossipProtocol):
         values: Union[Sequence[float], np.ndarray],
         weights: Union[None, Sequence[float], np.ndarray] = None,
         rounds: Optional[int] = None,
+        tolerance: Optional[float] = None,
     ) -> None:
         array = np.asarray(values, dtype=float)
         if array.ndim != 1 or array.size < 2:
@@ -85,6 +92,9 @@ class PushSumProtocol(BatchGossipProtocol, GossipProtocol):
         self._rounds = rounds if rounds is not None else default_push_sum_rounds(self.n)
         if self._rounds <= 0:
             raise ConfigurationError("rounds must be positive")
+        if tolerance is not None and tolerance <= 0:
+            raise ConfigurationError("tolerance must be positive")
+        self._tolerance = tolerance
 
     # -- protocol interface -----------------------------------------------------
     def act(self, node: int, round_index: int) -> Action:
@@ -121,7 +131,20 @@ class PushSumProtocol(BatchGossipProtocol, GossipProtocol):
         np.add.at(self._w, targets, w_half)
 
     def is_done(self, round_index: int) -> bool:
-        return round_index >= self._rounds
+        if round_index >= self._rounds:
+            return True
+        if self._tolerance is None or round_index == 0:
+            return False
+        return self.relative_spread() <= self._tolerance
+
+    def relative_spread(self) -> float:
+        """Relative spread of the current estimates: ``(max - min) / |mean|``."""
+        estimates = np.where(
+            self._w > 0, self._s / np.maximum(self._w, 1e-300), 0.0
+        )
+        spread = float(estimates.max() - estimates.min())
+        scale = abs(float(estimates.mean()))
+        return spread / max(scale, 1e-300)
 
     def outputs(self) -> List[float]:
         estimates = np.where(self._w > 0, self._s / np.maximum(self._w, 1e-300), 0.0)
@@ -170,9 +193,12 @@ def push_sum_average(
     failure_model: Union[None, float, FailureModel] = None,
     metrics: Optional[NetworkMetrics] = None,
     engine: Optional[str] = None,
+    topology=None,
+    peer_sampling: str = "uniform",
+    tolerance: Optional[float] = None,
 ) -> PushSumResult:
     """Estimate the average of ``values`` at every node via push-sum."""
-    protocol = PushSumProtocol(values, rounds=rounds)
+    protocol = PushSumProtocol(values, rounds=rounds, tolerance=tolerance)
     result: EngineResult = run_protocol(
         protocol,
         rng=rng,
@@ -180,6 +206,8 @@ def push_sum_average(
         max_rounds=protocol._rounds + 1,
         metrics=metrics,
         engine=engine,
+        topology=topology,
+        peer_sampling=peer_sampling,
     )
     return PushSumResult(
         estimates=np.asarray(result.outputs, dtype=float),
@@ -195,6 +223,8 @@ def push_sum_sum(
     failure_model: Union[None, float, FailureModel] = None,
     metrics: Optional[NetworkMetrics] = None,
     engine: Optional[str] = None,
+    topology=None,
+    peer_sampling: str = "uniform",
 ) -> PushSumResult:
     """Estimate the *sum* of ``values`` at every node.
 
@@ -212,6 +242,8 @@ def push_sum_sum(
         max_rounds=protocol._rounds + 1,
         metrics=metrics,
         engine=engine,
+        topology=topology,
+        peer_sampling=peer_sampling,
     )
     return PushSumResult(
         estimates=np.asarray(result.outputs, dtype=float),

@@ -27,6 +27,7 @@ from repro.core.approx_quantile import approximate_quantile
 from repro.core.exact_quantile import exact_quantile
 from repro.experiments.runner import REGISTRY, run_experiment
 from repro.gossip.engine import ENGINE_CHOICES, get_default_engine, set_default_engine
+from repro.topology import TOPOLOGY_CHOICES, build_topology
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,6 +56,19 @@ def _build_parser() -> argparse.ArgumentParser:
             "--engine", choices=ENGINE_CHOICES, default=None,
             help="gossip engine: auto (default), loop, or vectorized",
         )
+        exp.add_argument(
+            "--topology", choices=TOPOLOGY_CHOICES, nargs="+", default=None,
+            help="run gossip on these topologies instead of the complete graph "
+                 "(experiments with topology support only)",
+        )
+        exp.add_argument(
+            "--degree", type=int, default=None,
+            help="target degree for degree-parameterised topologies",
+        )
+        exp.add_argument(
+            "--rewire-p", type=float, default=None, dest="rewire_p",
+            help="rewiring probability of the small-world topology",
+        )
 
     query = sub.add_parser("query", help="compute a quantile of a value file via gossip")
     query.add_argument("--input", required=True, help="text file with one value per line")
@@ -66,6 +80,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINE_CHOICES, default=None,
         help="gossip engine: auto (default), loop, or vectorized",
     )
+    query.add_argument(
+        "--topology", choices=TOPOLOGY_CHOICES, default=None,
+        help="gossip topology for the approximate algorithm "
+             "(default: complete graph)",
+    )
+    query.add_argument("--degree", type=int, default=None,
+                       help="target degree for degree-parameterised topologies")
+    query.add_argument("--rewire-p", type=float, default=None, dest="rewire_p",
+                       help="rewiring probability of the small-world topology")
     return parser
 
 
@@ -77,21 +100,47 @@ def _experiment_kwargs(args: argparse.Namespace) -> dict:
         kwargs["sizes"] = args.sizes
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    # Topology axis: forwarded only when given, so topology-unaware
+    # experiments keep rejecting the flags with a clear error.
+    if args.topology is not None:
+        kwargs["topologies"] = tuple(args.topology)
+    if args.degree is not None:
+        kwargs["degree"] = args.degree
+    if args.rewire_p is not None:
+        kwargs["rewire_p"] = args.rewire_p
     return kwargs
 
 
 def _run_query(args: argparse.Namespace) -> str:
     values = np.loadtxt(args.input, dtype=float).ravel()
+    topology = None
+    if args.topology is not None:
+        topology = build_topology(
+            args.topology,
+            values.size,
+            degree=args.degree,
+            rewire_p=args.rewire_p,
+            rng=args.seed,
+        )
     if args.eps is None:
+        if topology is not None:
+            raise SystemExit(
+                "--topology currently applies to the approximate algorithm "
+                "only; pass --eps (the exact driver's sub-protocols are a "
+                "follow-up, see ROADMAP.md)"
+            )
         result = exact_quantile(values, phi=args.phi, rng=args.seed)
         return (
             f"exact {args.phi}-quantile = {result.value} "
             f"(rank {result.target_rank} of {result.n}, {result.rounds} gossip rounds)"
         )
-    result = approximate_quantile(values, phi=args.phi, eps=args.eps, rng=args.seed)
+    result = approximate_quantile(
+        values, phi=args.phi, eps=args.eps, rng=args.seed, topology=topology
+    )
+    where = f" on {args.topology}" if topology is not None else ""
     return (
         f"approximate {args.phi}-quantile (eps={args.eps}) = {result.estimate} "
-        f"({result.rounds} gossip rounds, n={result.n})"
+        f"({result.rounds} gossip rounds, n={result.n}{where})"
     )
 
 

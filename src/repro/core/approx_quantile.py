@@ -53,6 +53,8 @@ def approximate_quantile(
     track_bands: bool = False,
     network: Optional[GossipNetwork] = None,
     metrics: Optional[NetworkMetrics] = None,
+    topology=None,
+    peer_sampling: str = "uniform",
 ) -> ApproxQuantileResult:
     """Compute an ε-approximate φ-quantile with uniform gossip.
 
@@ -79,6 +81,14 @@ def approximate_quantile(
     network / metrics:
         Advanced: run on an existing network (its value array is consumed)
         and/or accumulate rounds into an existing metrics object.
+    topology / peer_sampling:
+        Optional gossip topology (see :mod:`repro.topology`); pulls are
+        then drawn from graph neighbors instead of uniformly.  The paper's
+        guarantees assume the complete graph — on sparse topologies the
+        achieved rank error degrades with the spectral gap, which is
+        exactly what ``experiments/topology_sweep.py`` measures.  Only
+        valid when the network is constructed here (pass a configured
+        ``network`` otherwise).
 
     Returns
     -------
@@ -99,9 +109,16 @@ def approximate_quantile(
             failure_model=failure_model,
             metrics=metrics,
             keep_history=False,
+            topology=topology,
+            peer_sampling=peer_sampling,
         )
     elif values is not None:
         raise ConfigurationError("pass either values or network, not both")
+    elif topology is not None or peer_sampling != "uniform":
+        raise ConfigurationError(
+            "pass topology/peer_sampling to the GossipNetwork constructor "
+            "when supplying an existing network"
+        )
 
     rounds_before = network.metrics.rounds
 

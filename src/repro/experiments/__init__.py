@@ -19,6 +19,7 @@ from repro.experiments import (
     schedule_validation,
     self_rank,
     token_distribution,
+    topology_sweep,
 )
 from repro.experiments.runner import ExperimentSpec, REGISTRY, run_experiment
 
@@ -33,6 +34,7 @@ __all__ = [
     "schedule_validation",
     "self_rank",
     "token_distribution",
+    "topology_sweep",
     "ExperimentSpec",
     "REGISTRY",
     "run_experiment",

@@ -7,12 +7,18 @@ speed-up of the new algorithm.  The reproduction target is the *shape*:
 the tournament column grows linearly in log n (its normalised ratio stays
 roughly flat), the baseline grows quadratically, and the speed-up widens
 with n.
+
+Trials dispatch through the parallel trial executor
+(:func:`repro.experiments.runner.run_trials`): each (n, φ, trial) cell gets
+its own deterministic child seed, so rows are identical for any ``workers``
+count.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,38 +42,53 @@ COLUMNS = [
 ]
 
 
+def _run_one_trial(
+    grid: Tuple[Tuple[int, float], ...],
+    fidelity: str,
+    trial_index: int,
+    rng: RandomSource,
+) -> Dict[str, float]:
+    """One (n, phi) trial; module-level so process pools can pickle it."""
+    n, phi = grid[trial_index]
+    values = distinct_uniform(n, rng=rng.child())
+    truth = empirical_quantile(values, phi)
+    ours = exact_quantile(values, phi=phi, rng=rng.child(), fidelity=fidelity)
+    base = kempe_exact_quantile(values, phi=phi, rng=rng.child(), fidelity=fidelity)
+    return {
+        "tournament_rounds": ours.rounds,
+        "kempe_rounds": base.rounds,
+        "tournament_correct": int(ours.value == truth),
+        "kempe_correct": int(base.value == truth),
+    }
+
+
 def run(
     sizes: Sequence[int] = (256, 512, 1024, 2048, 4096),
     phis: Sequence[float] = (0.5,),
     trials: int = 3,
     seed: int = 1,
     fidelity: str = "idealized",
+    workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Run experiment E1 and return one row per (n, phi)."""
-    rng = RandomSource(seed)
+    from repro.experiments.runner import run_trials
+
+    grid = tuple(
+        (n, phi) for n in sizes for phi in phis for _ in range(trials)
+    )
+    outcomes = run_trials(
+        partial(_run_one_trial, grid, fidelity), len(grid), seed=seed,
+        workers=workers,
+    )
+
     rows: List[Dict[str, float]] = []
+    cursor = 0
     for n in sizes:
         for phi in phis:
-            tournament_rounds = []
-            kempe_rounds = []
-            tournament_correct = 0
-            kempe_correct = 0
-            for _ in range(trials):
-                trial_rng = rng.child()
-                values = distinct_uniform(n, rng=trial_rng.child())
-                truth = empirical_quantile(values, phi)
-                ours = exact_quantile(
-                    values, phi=phi, rng=trial_rng.child(), fidelity=fidelity
-                )
-                base = kempe_exact_quantile(
-                    values, phi=phi, rng=trial_rng.child(), fidelity=fidelity
-                )
-                tournament_rounds.append(ours.rounds)
-                kempe_rounds.append(base.rounds)
-                tournament_correct += int(ours.value == truth)
-                kempe_correct += int(base.value == truth)
-            mean_ours = float(np.mean(tournament_rounds))
-            mean_kempe = float(np.mean(kempe_rounds))
+            batch = outcomes[cursor : cursor + trials]
+            cursor += trials
+            mean_ours = float(np.mean([b["tournament_rounds"] for b in batch]))
+            mean_kempe = float(np.mean([b["kempe_rounds"] for b in batch]))
             log_n = math.log2(n)
             rows.append(
                 {
@@ -79,8 +100,10 @@ def run(
                     "tournament_per_logn": mean_ours / log_n,
                     "kempe_per_log2n": mean_kempe / (log_n * log_n),
                     "speedup": mean_kempe / mean_ours if mean_ours else float("nan"),
-                    "tournament_correct": tournament_correct / trials,
-                    "kempe_correct": kempe_correct / trials,
+                    "tournament_correct": sum(
+                        b["tournament_correct"] for b in batch
+                    ) / trials,
+                    "kempe_correct": sum(b["kempe_correct"] for b in batch) / trials,
                 }
             )
     return rows

@@ -9,7 +9,8 @@ answers that were produced.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,7 +18,7 @@ from repro.analysis.theory import robust_slowdown_reference
 from repro.core.approx_quantile import approximate_quantile
 from repro.core.robust import robust_approximate_quantile
 from repro.datasets.generators import distinct_uniform
-from repro.utils.rand import RandomSource
+from repro.utils.rand import RandomSource, resolve_seed_sequence
 from repro.utils.stats import rank_error
 
 COLUMNS = [
@@ -37,6 +38,29 @@ COLUMNS = [
 ]
 
 
+def _run_one_trial(
+    grid: Tuple[Tuple[int, float], ...],
+    eps: float,
+    phi: float,
+    trial_index: int,
+    rng: RandomSource,
+) -> Dict[str, float]:
+    """One (n, mu) trial; module-level so process pools can pickle it."""
+    n, mu = grid[trial_index]
+    values = distinct_uniform(n, rng=rng.child())
+    result = robust_approximate_quantile(
+        values, phi=phi, eps=eps, failure_model=mu, rng=rng.child()
+    )
+    error = rank_error(values, result.estimate, phi)
+    return {
+        "error": error,
+        "rounds": result.rounds,
+        "good_fraction": result.good_fraction,
+        "answered_fraction": result.answered_fraction,
+        "success": int(error <= eps + 1e-12),
+    }
+
+
 def run(
     sizes: Sequence[int] = (1024, 2048),
     mus: Sequence[float] = (0.0, 0.2, 0.5),
@@ -44,10 +68,28 @@ def run(
     phi: float = 0.5,
     trials: int = 3,
     seed: int = 4,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
-    """Run experiment E4 and return one row per (n, mu)."""
-    rng = RandomSource(seed)
+    """Run experiment E4 and return one row per (n, mu).
+
+    The (n, mu, trial) grid dispatches through the parallel trial executor;
+    the per-``n`` failure-free reference runs are cheap and stay inline.
+    """
+    from repro.experiments.runner import run_trials
+
+    grid = tuple((n, mu) for n in sizes for mu in mus for _ in range(trials))
+    outcomes = run_trials(
+        partial(_run_one_trial, grid, eps, phi), len(grid), seed=seed,
+        workers=workers,
+    )
+
+    # The reference runs draw from a separate branch of the seed space:
+    # spawning children of SeedSequence(seed) here would replay the exact
+    # streams run_trials handed to the first trials, making the mu = 0
+    # "slowdown" a comparison of a run against itself.
+    rng = resolve_seed_sequence((seed, 1)) if seed is not None else RandomSource()
     rows: List[Dict[str, float]] = []
+    cursor = 0
     for n in sizes:
         # Failure-free reference: the plain algorithm on the same sizes.
         ref_rng = rng.child()
@@ -56,28 +98,9 @@ def run(
             ref_values, phi=phi, eps=eps, rng=ref_rng.child()
         )
         for mu in mus:
-            errors = []
-            rounds = []
-            good_fracs = []
-            answered = []
-            successes = 0
-            for _ in range(trials):
-                trial_rng = rng.child()
-                values = distinct_uniform(n, rng=trial_rng.child())
-                result = robust_approximate_quantile(
-                    values,
-                    phi=phi,
-                    eps=eps,
-                    failure_model=mu,
-                    rng=trial_rng.child(),
-                )
-                error = rank_error(values, result.estimate, phi)
-                errors.append(error)
-                rounds.append(result.rounds)
-                good_fracs.append(result.good_fraction)
-                answered.append(result.answered_fraction)
-                successes += int(error <= eps + 1e-12)
-            mean_rounds = float(np.mean(rounds))
+            batch = outcomes[cursor : cursor + trials]
+            cursor += trials
+            mean_rounds = float(np.mean([b["rounds"] for b in batch]))
             rows.append(
                 {
                     "n": n,
@@ -89,10 +112,14 @@ def run(
                     "failure_free_rounds": reference.rounds,
                     "slowdown": mean_rounds / reference.rounds,
                     "reference_slowdown": robust_slowdown_reference(mu),
-                    "good_fraction": float(np.mean(good_fracs)),
-                    "answered_fraction": float(np.mean(answered)),
-                    "mean_error": float(np.mean(errors)),
-                    "success_fraction": successes / trials,
+                    "good_fraction": float(
+                        np.mean([b["good_fraction"] for b in batch])
+                    ),
+                    "answered_fraction": float(
+                        np.mean([b["answered_fraction"] for b in batch])
+                    ),
+                    "mean_error": float(np.mean([b["error"] for b in batch])),
+                    "success_fraction": sum(b["success"] for b in batch) / trials,
                 }
             )
     return rows

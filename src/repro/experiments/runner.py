@@ -29,6 +29,7 @@ from repro.experiments import (
     schedule_validation,
     self_rank,
     token_distribution,
+    topology_sweep,
 )
 
 
@@ -114,6 +115,13 @@ REGISTRY: Dict[str, ExperimentSpec] = {
         run=ablations.run,
         columns=ablations.COLUMNS,
     ),
+    "topology": ExperimentSpec(
+        name="topology",
+        claim="Beyond the complete graph",
+        description="Gossip convergence across topologies vs the spectral gap",
+        run=topology_sweep.run,
+        columns=topology_sweep.COLUMNS,
+    ),
 }
 
 
@@ -194,13 +202,20 @@ def run_experiment(
         raise ConfigurationError(
             f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
         ) from None
+    accepted = inspect.signature(spec.run).parameters
     if workers is not None:
-        if "workers" in inspect.signature(spec.run).parameters:
+        if "workers" in accepted:
             kwargs["workers"] = workers
         elif workers > 1:
             raise ConfigurationError(
                 f"experiment {name!r} does not support parallel trials"
             )
+    unknown = sorted(key for key in kwargs if key not in accepted)
+    if unknown:
+        raise ConfigurationError(
+            f"experiment {name!r} does not accept parameter(s) {unknown}; "
+            f"it takes {sorted(accepted)}"
+        )
     previous_engine = get_default_engine()
     if engine is not None:
         set_default_engine(engine)

@@ -30,6 +30,10 @@ from repro.gossip.messages import Message, payload_bits
 from repro.gossip.metrics import NetworkMetrics, RoundRecord
 from repro.gossip.network import GossipNetwork, PullBatch
 from repro.gossip.protocol import (
+    KIND_IDLE,
+    KIND_PULL,
+    KIND_PUSH,
+    KIND_PUSHPULL,
     Action,
     BatchAction,
     BatchGossipProtocol,
@@ -59,6 +63,10 @@ __all__ = [
     "PullBatch",
     "Action",
     "BatchAction",
+    "KIND_IDLE",
+    "KIND_PUSH",
+    "KIND_PULL",
+    "KIND_PUSHPULL",
     "BatchGossipProtocol",
     "GossipProtocol",
     "ENGINE_CHOICES",

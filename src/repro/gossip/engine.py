@@ -29,6 +29,12 @@ from repro.gossip.failures import FailureModel, resolve_failure_model
 from repro.gossip.messages import payload_bits
 from repro.gossip.metrics import NetworkMetrics, RoundRecord
 from repro.gossip.protocol import Action, BatchAction, BatchGossipProtocol, GossipProtocol
+from repro.topology.graphs import Topology
+from repro.topology.sampler import (
+    PeerSampler,
+    draw_uniform_round_partners,
+    resolve_peer_sampler,
+)
 from repro.utils.rand import RandomSource
 
 #: Valid values for the ``engine`` argument of :func:`run_protocol`.
@@ -79,18 +85,12 @@ class EngineResult:
 def draw_round_partners(source: RandomSource, n: int) -> np.ndarray:
     """Draw each node's uniformly random partner for one round.
 
-    Partners are uniform among the *other* ``n - 1`` nodes: an initial
-    uniform draw over all ``n`` nodes followed by re-draws of self-contacts
-    (a constant expected number of re-draws).  Both engines use this helper,
-    so they consume the random stream identically.
+    Partners are uniform among the *other* ``n - 1`` nodes; see
+    :func:`repro.topology.sampler.draw_uniform_round_partners`, which this
+    re-exports for backward compatibility.  Both engines draw through the
+    same sampler, so they consume the random stream identically.
     """
-    partners = source.integers(0, n, size=n)
-    own = np.arange(n)
-    mask = partners == own
-    while np.any(mask):
-        partners[mask] = source.integers(0, n, size=int(mask.sum()))
-        mask = partners == own
-    return partners
+    return draw_uniform_round_partners(source, n)
 
 
 def _begin_run(
@@ -98,12 +98,15 @@ def _begin_run(
     rng: Union[None, int, RandomSource],
     failure_model: Union[None, float, FailureModel],
     metrics: Optional[NetworkMetrics],
-) -> Tuple[RandomSource, FailureModel, NetworkMetrics]:
+    topology: Optional[Topology],
+    peer_sampling: str,
+) -> Tuple[RandomSource, FailureModel, NetworkMetrics, PeerSampler]:
     source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
     failures = resolve_failure_model(failure_model)
     stats = metrics if metrics is not None else NetworkMetrics()
+    sampler = resolve_peer_sampler(topology, sampling=peer_sampling, n=protocol.n)
     protocol.begin()
-    return source, failures, stats
+    return source, failures, stats, sampler
 
 
 def _finish_run(
@@ -134,12 +137,13 @@ def _begin_round(
     source: RandomSource,
     failures: FailureModel,
     stats: NetworkMetrics,
+    sampler: PeerSampler,
 ) -> Tuple[RoundRecord, np.ndarray, np.ndarray]:
     """Shared per-round prologue: accounting, failure mask, partner draw."""
     record = stats.begin_round(label=protocol.name)
     failed = failures.failure_mask(round_index, n, source)
     stats.record_failures(int(failed.sum()), record)
-    partners = draw_round_partners(source, n)
+    partners = sampler.draw_round(source)
     return record, failed, partners
 
 
@@ -150,6 +154,8 @@ def run_protocol_loop(
     max_rounds: int = 10_000,
     metrics: Optional[NetworkMetrics] = None,
     raise_on_budget: bool = True,
+    topology: Optional[Topology] = None,
+    peer_sampling: str = "uniform",
 ) -> EngineResult:
     """Run ``protocol`` on the per-node reference engine.
 
@@ -166,15 +172,24 @@ def run_protocol_loop(
         (or return ``completed=False`` when ``raise_on_budget`` is False).
     metrics:
         Optionally accumulate into an existing metrics object.
+    topology:
+        Optional :class:`~repro.topology.graphs.Topology` restricting who
+        can contact whom.  ``None`` (the default) is uniform gossip on the
+        complete graph, bit-identical to the historical behaviour.
+    peer_sampling:
+        Partner strategy on a sparse topology: ``"uniform"`` over neighbors
+        or ``"round-robin"`` (shuffled cyclic neighbor schedule).
     """
     n = protocol.n
-    source, failures, stats = _begin_run(protocol, rng, failure_model, metrics)
+    source, failures, stats, sampler = _begin_run(
+        protocol, rng, failure_model, metrics, topology, peer_sampling
+    )
 
     round_index = 0
     completed = protocol.is_done(round_index)
     while not completed and round_index < max_rounds:
         record, failed, partners = _begin_round(
-            protocol, round_index, n, source, failures, stats
+            protocol, round_index, n, source, failures, stats, sampler
         )
 
         actions: List[Optional[Action]] = [None] * n
@@ -223,6 +238,8 @@ def run_protocol_vectorized(
     max_rounds: int = 10_000,
     metrics: Optional[NetworkMetrics] = None,
     raise_on_budget: bool = True,
+    topology: Optional[Topology] = None,
+    peer_sampling: str = "uniform",
 ) -> EngineResult:
     """Run a batch-capable protocol one whole round per numpy operation.
 
@@ -236,13 +253,15 @@ def run_protocol_vectorized(
             "run it on the loop engine instead"
         )
     n = protocol.n
-    source, failures, stats = _begin_run(protocol, rng, failure_model, metrics)
+    source, failures, stats, sampler = _begin_run(
+        protocol, rng, failure_model, metrics, topology, peer_sampling
+    )
 
     round_index = 0
     completed = protocol.is_done(round_index)
     while not completed and round_index < max_rounds:
         record, failed, partners = _begin_round(
-            protocol, round_index, n, source, failures, stats
+            protocol, round_index, n, source, failures, stats, sampler
         )
         alive = ~failed
 
@@ -253,7 +272,25 @@ def run_protocol_vectorized(
                 f"got {action!r}"
             )
         active = int(alive.sum())
-        if action.kind != "idle" and active > 0:
+        if action.kind == "mixed" and active > 0:
+            if action.kinds is None or action.kinds.shape != (n,):
+                raise ProtocolError(
+                    f"{protocol.name}: mixed act_batch() must set a length-n "
+                    "kinds array"
+                )
+            # Per-message sizes can depend on the partner (e.g. an empty
+            # pull response), so accounting is delegated: receive_batch
+            # returns the (count, bits_each) message groups it delivered.
+            deliveries = protocol.receive_batch(round_index, alive, partners, action)
+            if deliveries is None:
+                raise ProtocolError(
+                    f"{protocol.name}: mixed receive_batch() must return "
+                    "(count, bits) message groups"
+                )
+            for count, bits in deliveries:
+                if count:
+                    stats.record_messages(int(count), int(bits), record)
+        elif action.kind != "idle" and active > 0:
             if action.kind in ("push", "pushpull"):
                 stats.record_messages(active, int(action.push_bits), record)
             if action.kind in ("pull", "pushpull"):
@@ -275,13 +312,17 @@ def run_protocol(
     metrics: Optional[NetworkMetrics] = None,
     raise_on_budget: bool = True,
     engine: Optional[str] = None,
+    topology: Optional[Topology] = None,
+    peer_sampling: str = "uniform",
 ) -> EngineResult:
     """Run ``protocol`` until it reports completion.
 
     Dispatches to :func:`run_protocol_vectorized` when the protocol is
     batch-capable (or ``engine="vectorized"`` is forced) and to
     :func:`run_protocol_loop` otherwise.  ``engine=None`` defers to
-    :func:`get_default_engine`.
+    :func:`get_default_engine`.  ``topology``/``peer_sampling`` restrict
+    partner choice to a graph (``None`` = the complete graph, bit-identical
+    to the historical uniform-gossip behaviour).
     """
     choice = engine if engine is not None else _default_engine
     if choice not in ENGINE_CHOICES:
@@ -298,4 +339,6 @@ def run_protocol(
         max_rounds=max_rounds,
         metrics=metrics,
         raise_on_budget=raise_on_budget,
+        topology=topology,
+        peer_sampling=peer_sampling,
     )

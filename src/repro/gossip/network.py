@@ -18,6 +18,8 @@ from repro.exceptions import ConfigurationError
 from repro.gossip.failures import FailureModel, NoFailures, resolve_failure_model
 from repro.gossip.messages import tournament_message_bits
 from repro.gossip.metrics import NetworkMetrics
+from repro.topology.graphs import Topology
+from repro.topology.sampler import resolve_peer_sampler
 from repro.utils.rand import RandomSource
 
 
@@ -74,6 +76,14 @@ class GossipNetwork:
         Optionally share a :class:`NetworkMetrics` object with an enclosing
         computation (the exact-quantile driver threads one metrics object
         through all of its sub-protocols).
+    topology:
+        Optional :class:`~repro.topology.graphs.Topology` restricting who
+        can be pulled from.  ``None`` (the default) is the paper's uniform
+        gossip on the complete graph — bit-identical to the historical
+        partner stream.
+    peer_sampling:
+        Partner strategy on a sparse topology: ``"uniform"`` over neighbors
+        or ``"round-robin"`` (shuffled cyclic neighbor schedule).
     """
 
     def __init__(
@@ -84,6 +94,8 @@ class GossipNetwork:
         allow_self_contact: bool = False,
         metrics: Optional[NetworkMetrics] = None,
         keep_history: bool = True,
+        topology: Optional[Topology] = None,
+        peer_sampling: str = "uniform",
     ) -> None:
         array = np.asarray(values, dtype=float).copy()
         if array.ndim != 1:
@@ -96,6 +108,13 @@ class GossipNetwork:
         self._rng = rng if isinstance(rng, RandomSource) else RandomSource(rng)
         self._failures = resolve_failure_model(failure_model)
         self._allow_self = bool(allow_self_contact)
+        self._topology = topology
+        self._sampler = resolve_peer_sampler(
+            topology,
+            sampling=peer_sampling,
+            n=self._n,
+            allow_self=self._allow_self,
+        )
         self.metrics = metrics if metrics is not None else NetworkMetrics(
             keep_history=keep_history
         )
@@ -148,17 +167,16 @@ class GossipNetwork:
         self._values = self._initial_values.copy()
         self.metrics = NetworkMetrics(keep_history=self.metrics.keep_history)
 
+    @property
+    def topology(self):
+        """The attached topology, or ``None`` for uniform/complete gossip."""
+        return self._topology
+
     # -- partner selection --------------------------------------------------------
     def _sample_partners(self, k: int) -> np.ndarray:
-        partners = self._rng.uniform_partners(self._n, k)
-        if not self._allow_self:
-            # Re-draw self-contacts; a constant expected number of re-draws.
-            own = np.arange(self._n)[:, None]
-            mask = partners == own
-            while np.any(mask):
-                partners[mask] = self._rng.integers(0, self._n, size=int(mask.sum()))
-                mask = partners == own
-        return partners
+        # The sampler owns the draw; the default UniformSampler block draw
+        # is verbatim the historical code, so seeded runs are unchanged.
+        return self._sampler.draw_block(self._rng, k)
 
     # -- the pull surface ---------------------------------------------------------
     def pull(

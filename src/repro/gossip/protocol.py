@@ -112,6 +112,13 @@ class GossipProtocol(abc.ABC):
         return None
 
 
+#: Per-node kind codes for ``BatchAction(kind="mixed")``.
+KIND_IDLE = 0
+KIND_PUSH = 1
+KIND_PULL = 2
+KIND_PUSHPULL = 3
+
+
 @dataclass(frozen=True)
 class BatchAction:
     """What *all alive nodes* do in one vectorized round.
@@ -119,13 +126,20 @@ class BatchAction:
     The vectorized engine (:func:`repro.gossip.engine.run_protocol_vectorized`)
     executes a whole synchronous round as array operations, so instead of one
     :class:`Action` per node a protocol returns a single :class:`BatchAction`
-    describing the uniform behaviour of every node that did not fail.
+    describing the behaviour of every node that did not fail.
 
     Attributes
     ----------
     kind:
         ``"push"``, ``"pull"``, ``"pushpull"`` or ``"idle"`` — the same
-        vocabulary as :class:`Action`, applied to every alive node.
+        vocabulary as :class:`Action`, applied to every alive node — or
+        ``"mixed"``, in which case ``kinds`` gives a per-node action kind
+        (rumor broadcast, where informed nodes push-pull while uninformed
+        nodes only pull, is the canonical mixed protocol).
+    kinds:
+        For ``"mixed"`` only: a length-``n`` integer array of
+        :data:`KIND_IDLE` / :data:`KIND_PUSH` / :data:`KIND_PULL` /
+        :data:`KIND_PUSHPULL` codes.  Entries of failed nodes are ignored.
     payload:
         Protocol-specific array data for the alive nodes (e.g. the
         ``(s_half, w_half)`` arrays of push-sum).  The engine never inspects
@@ -136,20 +150,28 @@ class BatchAction:
     pull_bits:
         Accounted size of each pull response.  Required for ``pull`` and
         ``pushpull`` actions.
+
+    For ``"mixed"`` actions message accounting is delegated to the
+    protocol: :meth:`BatchGossipProtocol.receive_batch` returns
+    ``(count, bits_each)`` groups (per-message bit sizes may depend on the
+    partner, e.g. an empty pull response), which the engine records.
     """
 
     kind: str
     payload: Any = None
     push_bits: Optional[int] = None
     pull_bits: Optional[int] = None
+    kinds: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("push", "pull", "pushpull", "idle"):
+        if self.kind not in ("push", "pull", "pushpull", "idle", "mixed"):
             raise ValueError(f"unknown batch action kind: {self.kind!r}")
         if self.kind in ("push", "pushpull") and self.push_bits is None:
             raise ValueError(f"{self.kind!r} batch actions must declare push_bits")
         if self.kind in ("pull", "pushpull") and self.pull_bits is None:
             raise ValueError(f"{self.kind!r} batch actions must declare pull_bits")
+        if self.kind == "mixed" and self.kinds is None:
+            raise ValueError("'mixed' batch actions must declare per-node kinds")
 
 
 class BatchGossipProtocol:
@@ -192,12 +214,18 @@ class BatchGossipProtocol:
         alive: np.ndarray,
         partners: np.ndarray,
         action: BatchAction,
-    ) -> None:
+    ):
         """Vectorized delivery of one round's messages.
 
         ``partners`` is the length-``n`` partner array drawn by the engine
         (entries for failed nodes are present but must be ignored).  The
         protocol applies pushes to ``partners[alive]`` and pull responses to
         the alive nodes themselves.
+
+        For uniform-kind actions the return value is ignored (the engine
+        accounts ``push_bits`` / ``pull_bits`` itself).  For ``"mixed"``
+        actions the method must return an iterable of ``(count, bits_each)``
+        message groups covering every message the round delivered; the
+        engine records them (zero-count groups are skipped).
         """
         raise NotImplementedError

@@ -1,0 +1,440 @@
+"""Graph topologies for gossip, stored in a compact CSR neighbor layout.
+
+The paper analyses uniform gossip on the complete graph; related work moves
+the same push/pull dynamics onto *structured* topologies — bounded-degree
+expanders, lattices, small worlds — where mixing, and hence convergence,
+can change by orders of magnitude.  A :class:`Topology` is an undirected
+simple graph over nodes ``0..n-1`` held as two arrays (CSR-style):
+``indptr`` of length ``n + 1`` and ``indices`` of length ``2·|E|`` such
+that the neighbors of node ``v`` are ``indices[indptr[v]:indptr[v+1]]``,
+sorted ascending.  This is the layout the vectorized
+:class:`~repro.topology.sampler.NeighborSampler` gathers from, so one
+round of partner draws over any topology stays a handful of numpy ops.
+
+The complete graph is deliberately *not* materialised (that would be
+``n(n-1)`` arcs); it is represented symbolically and routed to the uniform
+sampler, which also keeps the default gossip path bit-identical to the
+pre-topology behaviour.
+
+All generators are deterministic under a fixed seed: the same
+:class:`~repro.utils.rand.RandomSource` stream always produces the same
+graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rand import RandomSource
+
+#: Topology names accepted by :func:`build_topology` (and the CLI).
+TOPOLOGY_CHOICES = (
+    "complete",
+    "ring",
+    "torus",
+    "regular",
+    "erdos-renyi",
+    "small-world",
+    "pref-attach",
+)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An undirected simple graph in CSR form.
+
+    Attributes
+    ----------
+    name:
+        Generator name (one of :data:`TOPOLOGY_CHOICES`).
+    n:
+        Number of nodes.
+    indptr, indices:
+        CSR arrays; ``None`` for the symbolic complete graph, whose
+        neighbor lists are never materialised.
+    params:
+        The generator parameters, for reporting.
+    """
+
+    name: str
+    n: int
+    indptr: Optional[np.ndarray]
+    indices: Optional[np.ndarray]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError("a topology needs at least 2 nodes")
+        if (self.indptr is None) != (self.indices is None):
+            raise ConfigurationError("indptr and indices must be given together")
+        if self.indptr is not None:
+            if self.indptr.shape != (self.n + 1,):
+                raise ConfigurationError("indptr must have length n + 1")
+            if int(self.indptr[0]) != 0 or int(self.indptr[-1]) != self.indices.size:
+                raise ConfigurationError("indptr must span the indices array")
+
+    # -- structure ---------------------------------------------------------------
+    @property
+    def is_complete(self) -> bool:
+        """Whether this is the symbolic complete graph (uniform gossip)."""
+        return self.indptr is None
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-node degree array (length ``n``)."""
+        if self.is_complete:
+            return np.full(self.n, self.n - 1, dtype=np.int64)
+        return np.diff(self.indptr)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        if self.is_complete:
+            return self.n * (self.n - 1) // 2
+        return self.indices.size // 2
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """The sorted neighbor list of ``node``."""
+        if not 0 <= node < self.n:
+            raise ConfigurationError(f"node {node} out of range [0, {self.n})")
+        if self.is_complete:
+            others = np.arange(self.n, dtype=np.int64)
+            return np.delete(others, node)
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    @property
+    def min_degree(self) -> int:
+        return int(self.degrees.min())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(name={self.name!r}, n={self.n}, edges={self.num_edges}, "
+            f"params={self.params})"
+        )
+
+
+def _csr_from_edges(
+    name: str, n: int, u: np.ndarray, v: np.ndarray, params: Dict[str, object]
+) -> Topology:
+    """Build a :class:`Topology` from undirected edge endpoint arrays.
+
+    Self-loops are dropped and parallel edges are merged, so the result is
+    always a simple graph; arcs are stored in both directions with each
+    neighbor list sorted ascending.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    src = np.concatenate([u, v])
+    dst = np.concatenate([v, u])
+    # Deduplicate arcs via the (src, dst) key; unique() also sorts, which
+    # yields CSR segments in ascending neighbor order.
+    keys = np.unique(src * np.int64(n) + dst)
+    src = keys // n
+    dst = keys % n
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return Topology(name=name, n=n, indptr=indptr, indices=dst, params=dict(params))
+
+
+# -- generators --------------------------------------------------------------------
+
+
+def complete(n: int) -> Topology:
+    """The complete graph, represented symbolically (uniform gossip)."""
+    return Topology(name="complete", n=n, indptr=None, indices=None, params={})
+
+
+def ring(n: int, k: int = 1) -> Topology:
+    """A ring lattice: every node linked to its ``k`` nearest on each side."""
+    if k < 1:
+        raise ConfigurationError("k must be at least 1")
+    if 2 * k >= n:
+        raise ConfigurationError(f"ring(n={n}, k={k}) needs n > 2k")
+    base = np.arange(n, dtype=np.int64)
+    u = np.concatenate([base] * k)
+    v = np.concatenate([(base + off) % n for off in range(1, k + 1)])
+    return _csr_from_edges("ring", n, u, v, {"k": k})
+
+
+def _torus_shape(n: int) -> Tuple[int, int]:
+    """The most square ``rows x cols`` factorisation of ``n`` with rows >= 2."""
+    for rows in range(int(math.isqrt(n)), 1, -1):
+        if n % rows == 0:
+            return rows, n // rows
+    raise ConfigurationError(
+        f"torus(n={n}): n has no factorisation rows*cols with rows >= 2; "
+        "pick a composite n (e.g. a perfect square)"
+    )
+
+
+def torus(n: int, rows: Optional[int] = None) -> Topology:
+    """A 2-D torus (wrap-around grid, degree 4 when both sides are >= 3)."""
+    if rows is None:
+        rows, cols = _torus_shape(n)
+    else:
+        if rows < 2 or n % rows != 0:
+            raise ConfigurationError(f"rows={rows} must divide n={n} and be >= 2")
+        cols = n // rows
+        if cols < 2:
+            raise ConfigurationError("torus needs at least 2 columns")
+    cell = np.arange(n, dtype=np.int64)
+    r, c = cell // cols, cell % cols
+    right = r * cols + (c + 1) % cols
+    down = ((r + 1) % rows) * cols + c
+    u = np.concatenate([cell, cell])
+    v = np.concatenate([right, down])
+    return _csr_from_edges("torus", n, u, v, {"rows": rows, "cols": cols})
+
+
+def random_regular(
+    n: int,
+    d: int,
+    rng: Union[None, int, RandomSource] = None,
+    max_restarts: int = 50,
+) -> Topology:
+    """A random ``d``-regular simple graph via the configuration model.
+
+    Stubs are paired uniformly at random; clashing pairs (self-loops or
+    parallel edges) throw their stubs back into the pool and are re-paired
+    until the pool drains.  When the endgame gets stuck (the remaining
+    stubs cannot form valid edges) the whole pairing restarts — rarely more
+    than a handful of times even for dense ``d``.
+    """
+    if d < 1 or d >= n:
+        raise ConfigurationError(f"degree d={d} must satisfy 1 <= d < n")
+    if (n * d) % 2 != 0:
+        raise ConfigurationError(f"n*d must be even, got n={n}, d={d}")
+    source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+
+    for _ in range(max_restarts):
+        pool = np.repeat(np.arange(n, dtype=np.int64), d)
+        accepted = np.empty(0, dtype=np.int64)  # sorted arc keys (min*n + max)
+        stalls = 0
+        while pool.size:
+            source.shuffle(pool)
+            a, b = pool[0::2], pool[1::2]
+            lo, hi = np.minimum(a, b), np.maximum(a, b)
+            keys = lo * np.int64(n) + hi
+            ok = a != b
+            # reject duplicates inside this batch ...
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            dup = np.zeros(keys.size, dtype=bool)
+            dup[order[1:]] = sorted_keys[1:] == sorted_keys[:-1]
+            ok &= ~dup
+            # ... and against already-accepted edges
+            if accepted.size:
+                pos = np.searchsorted(accepted, keys)
+                pos = np.minimum(pos, accepted.size - 1)
+                ok &= accepted[pos] != keys
+            new_keys = keys[ok]
+            if new_keys.size:
+                accepted = np.union1d(accepted, new_keys)
+                stalls = 0
+            else:
+                stalls += 1
+                if stalls >= 10:
+                    break  # stuck endgame; restart the pairing
+            rejected = ~ok
+            pool = np.concatenate([a[rejected], b[rejected]])
+        if pool.size == 0:
+            u = accepted // n
+            v = accepted % n
+            return _csr_from_edges("regular", n, u, v, {"d": d})
+    raise ConfigurationError(
+        f"random_regular(n={n}, d={d}) failed to converge after "
+        f"{max_restarts} restarts"
+    )
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    rng: Union[None, int, RandomSource] = None,
+    min_degree_one: bool = True,
+) -> Topology:
+    """The Erdős–Rényi random graph ``G(n, p)``.
+
+    The number of edges is drawn from the exact binomial, then that many
+    distinct pairs are sampled — equivalent to flipping a coin per pair
+    without touching ``O(n²)`` memory, so sparse graphs stay cheap at
+    large ``n``.
+
+    Below the ``p = ln n / n`` connectivity threshold ``G(n, p)`` has
+    isolated nodes w.h.p., and an isolated node can never gossip.  With
+    ``min_degree_one`` (the default) each isolated node is attached to one
+    uniformly random other node — i.e. the graph is conditioned on minimum
+    degree 1; pass ``False`` for the unconditioned distribution.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+    total_pairs = n * (n - 1) // 2
+    m = int(source.generator.binomial(total_pairs, p))
+    chosen = np.empty(0, dtype=np.int64)
+    while chosen.size < m:
+        need = m - chosen.size
+        draw = source.integers(0, n, size=(2 * need + 16, 2)).astype(np.int64)
+        a, b = draw[:, 0], draw[:, 1]
+        keep = a < b
+        keys = a[keep] * np.int64(n) + b[keep]
+        chosen = np.union1d(chosen, keys)
+        if chosen.size > m:
+            extra = source.choice(chosen.size, size=m, replace=False)
+            chosen = chosen[np.sort(extra)]
+    u = chosen // n
+    v = chosen % n
+    if min_degree_one:
+        touched = np.zeros(n, dtype=bool)
+        touched[u] = True
+        touched[v] = True
+        isolated = np.flatnonzero(~touched).astype(np.int64)
+        if isolated.size:
+            mates = source.integers(0, n, size=isolated.size).astype(np.int64)
+            bad = mates == isolated
+            while np.any(bad):
+                mates[bad] = source.integers(0, n, size=int(bad.sum()))
+                bad = mates == isolated
+            u = np.concatenate([u, isolated])
+            v = np.concatenate([v, mates])
+    return _csr_from_edges("erdos-renyi", n, u, v, {"p": p})
+
+
+def watts_strogatz(
+    n: int,
+    k: int = 8,
+    rewire_p: float = 0.1,
+    rng: Union[None, int, RandomSource] = None,
+) -> Topology:
+    """A Watts–Strogatz small world: ring lattice with random rewiring.
+
+    Starts from :func:`ring` with ``k // 2`` neighbors per side and rewires
+    each lattice edge's far endpoint to a uniformly random node with
+    probability ``rewire_p``.  Rewired endpoints are redrawn while they
+    collide with the edge's own endpoints; the CSR builder merges the rare
+    remaining parallel edges.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ConfigurationError(f"k must be a positive even degree, got {k}")
+    if k >= n:
+        raise ConfigurationError(f"watts_strogatz(n={n}, k={k}) needs k < n")
+    if not 0.0 <= rewire_p <= 1.0:
+        raise ConfigurationError(f"rewire_p must be in [0, 1], got {rewire_p}")
+    source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+    half = k // 2
+    base = np.arange(n, dtype=np.int64)
+    us, vs = [], []
+    for off in range(1, half + 1):
+        u = base
+        v = (base + off) % n
+        rewired = source.random(n) < rewire_p
+        target = source.integers(0, n, size=n).astype(np.int64)
+        bad = rewired & ((target == u) | (target == v))
+        while np.any(bad):
+            target[bad] = source.integers(0, n, size=int(bad.sum()))
+            bad = rewired & ((target == u) | (target == v))
+        us.append(u)
+        vs.append(np.where(rewired, target, v))
+    return _csr_from_edges(
+        "small-world",
+        n,
+        np.concatenate(us),
+        np.concatenate(vs),
+        {"k": k, "rewire_p": rewire_p},
+    )
+
+
+def preferential_attachment(
+    n: int, m: int = 4, rng: Union[None, int, RandomSource] = None
+) -> Topology:
+    """A Barabási–Albert preferential-attachment graph.
+
+    Each arriving node attaches ``m`` edges to distinct existing nodes
+    chosen proportionally to their current degree (the repeated-endpoints
+    trick).  The first ``m + 1`` nodes form a seed star so every node ends
+    with degree >= 1.
+    """
+    if m < 1 or m >= n:
+        raise ConfigurationError(f"m must satisfy 1 <= m < n, got m={m}, n={n}")
+    source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+    # Seed: star on nodes 0..m (node 0 is the hub).
+    seed_u = np.zeros(m, dtype=np.int64)
+    seed_v = np.arange(1, m + 1, dtype=np.int64)
+    # `repeated` holds every edge endpoint; sampling it uniformly is
+    # degree-proportional sampling.
+    repeated = np.empty(2 * m + 2 * m * (n - m - 1), dtype=np.int64)
+    repeated[0:m] = seed_u
+    repeated[m : 2 * m] = seed_v
+    filled = 2 * m
+    us = [seed_u]
+    vs = [seed_v]
+    for node in range(m + 1, n):
+        targets = np.unique(repeated[:filled][source.integers(0, filled, size=m)])
+        while targets.size < m:
+            more = repeated[:filled][
+                source.integers(0, filled, size=m - targets.size)
+            ]
+            targets = np.union1d(targets, more)
+        u = np.full(m, node, dtype=np.int64)
+        us.append(u)
+        vs.append(targets)
+        repeated[filled : filled + m] = node
+        repeated[filled + m : filled + 2 * m] = targets
+        filled += 2 * m
+    return _csr_from_edges(
+        "pref-attach", n, np.concatenate(us), np.concatenate(vs), {"m": m}
+    )
+
+
+def build_topology(
+    name: str,
+    n: int,
+    degree: Optional[int] = None,
+    rewire_p: Optional[float] = None,
+    p: Optional[float] = None,
+    rng: Union[None, int, RandomSource] = None,
+) -> Topology:
+    """Build a named topology from the uniform parameter vocabulary.
+
+    ``degree`` sets the (target) degree for every family that has one:
+    ``ring`` uses ``degree // 2`` neighbors per side, ``regular`` uses it
+    directly, ``erdos-renyi`` matches the expected degree (unless ``p`` is
+    given explicitly), ``small-world`` uses it as the lattice degree and
+    ``pref-attach`` attaches ``degree // 2`` edges per node.  ``complete``
+    and ``torus`` have fixed structure and ignore it.
+    """
+    if name not in TOPOLOGY_CHOICES:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; choose from {TOPOLOGY_CHOICES}"
+        )
+    if name == "complete":
+        return complete(n)
+    if name == "ring":
+        return ring(n, k=max(1, (degree or 2) // 2))
+    if name == "torus":
+        return torus(n)
+    if name == "regular":
+        return random_regular(n, d=degree if degree is not None else 8, rng=rng)
+    if name == "erdos-renyi":
+        if p is None:
+            p = min(1.0, (degree if degree is not None else 8) / (n - 1))
+        return erdos_renyi(n, p=p, rng=rng)
+    if name == "small-world":
+        return watts_strogatz(
+            n,
+            k=degree if degree is not None else 8,
+            rewire_p=rewire_p if rewire_p is not None else 0.1,
+            rng=rng,
+        )
+    # pref-attach
+    return preferential_attachment(
+        n, m=max(1, (degree if degree is not None else 8) // 2), rng=rng
+    )

@@ -1,0 +1,238 @@
+"""Peer sampling: turning a topology into vectorized partner draws.
+
+Both gossip execution surfaces pick, for every node and every synchronous
+round, one partner to contact.  A :class:`PeerSampler` encapsulates that
+choice so the engines stay topology-agnostic:
+
+* :class:`UniformSampler` — the paper's uniform gossip on the complete
+  graph.  Its two draw methods are *verbatim* the pre-topology partner
+  code (one for the message-level engine, one for the
+  :class:`~repro.gossip.network.GossipNetwork` pull surface), so they
+  consume the random stream identically and the default configuration is
+  bit-for-bit the old behaviour.
+* :class:`NeighborSampler` — uniform over the node's CSR neighbor list:
+  one ``random(n)`` draw and one gather per round, any topology.
+* :class:`RoundRobinSampler` — a shuffled round-robin over each node's
+  neighbors: every neighbor is contacted exactly once per cycle of
+  ``deg(v)`` rounds, in an order reshuffled every cycle.  This is the
+  classic quasi-random gossip variant with lower partner variance.
+
+Samplers holding per-run state (round-robin positions) are constructed
+fresh for every run by :func:`resolve_peer_sampler`, so runs never leak
+state into each other.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.topology.graphs import Topology
+from repro.utils.rand import RandomSource
+
+#: Peer-sampling strategies accepted by :func:`resolve_peer_sampler`.
+PEER_SAMPLING_CHOICES = ("uniform", "round-robin")
+
+
+def draw_uniform_round_partners(source: RandomSource, n: int) -> np.ndarray:
+    """Each node's uniformly random partner among the *other* nodes.
+
+    An initial uniform draw over all ``n`` nodes followed by re-draws of
+    self-contacts (a constant expected number of re-draws).  This is the
+    message-level engine's historical partner draw; keeping it byte-for-byte
+    preserves the random stream of every seeded pre-topology run.
+    """
+    partners = source.integers(0, n, size=n)
+    own = np.arange(n)
+    mask = partners == own
+    while np.any(mask):
+        partners[mask] = source.integers(0, n, size=int(mask.sum()))
+        mask = partners == own
+    return partners
+
+
+def _require_gossipable(topology: Topology) -> None:
+    """Every node needs at least one neighbor to take part in gossip."""
+    if topology.min_degree < 1:
+        isolated = int(np.argmin(topology.degrees))
+        raise ConfigurationError(
+            f"topology {topology.name!r} has an isolated node ({isolated}); "
+            "every node needs at least one neighbor to gossip"
+        )
+
+
+class PeerSampler(abc.ABC):
+    """Draws each node's partner for one (or ``k``) synchronous rounds."""
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ConfigurationError("a peer sampler needs at least 2 nodes")
+        self.n = n
+
+    @abc.abstractmethod
+    def draw_round(self, source: RandomSource) -> np.ndarray:
+        """Length-``n`` partner array for one round."""
+
+    def draw_block(self, source: RandomSource, k: int) -> np.ndarray:
+        """``(n, k)`` partner array for ``k`` consecutive rounds."""
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        return np.stack([self.draw_round(source) for _ in range(k)], axis=1)
+
+
+class UniformSampler(PeerSampler):
+    """Uniform gossip on the complete graph (the paper's model).
+
+    ``allow_self`` only affects :meth:`draw_block` (the
+    :class:`~repro.gossip.network.GossipNetwork` path, which historically
+    exposes the option); the engine path :meth:`draw_round` always excludes
+    self-contacts, as it always has.
+    """
+
+    def __init__(self, n: int, allow_self: bool = False) -> None:
+        super().__init__(n)
+        self._allow_self = bool(allow_self)
+
+    def draw_round(self, source: RandomSource) -> np.ndarray:
+        return draw_uniform_round_partners(source, self.n)
+
+    def draw_block(self, source: RandomSource, k: int) -> np.ndarray:
+        # Verbatim the historical GossipNetwork._sample_partners: one
+        # (n, k) block draw, then re-draws of self-contacts.
+        partners = source.uniform_partners(self.n, k)
+        if not self._allow_self:
+            own = np.arange(self.n)[:, None]
+            mask = partners == own
+            while np.any(mask):
+                partners[mask] = source.integers(0, self.n, size=int(mask.sum()))
+                mask = partners == own
+        return partners
+
+
+class NeighborSampler(PeerSampler):
+    """Uniform choice over each node's neighbor list, vectorized via CSR."""
+
+    def __init__(self, topology: Topology) -> None:
+        if topology.is_complete:
+            raise ConfigurationError(
+                "use UniformSampler for the complete graph; it avoids "
+                "materialising n(n-1) arcs and keeps the historical stream"
+            )
+        super().__init__(topology.n)
+        _require_gossipable(topology)
+        self.topology = topology
+        self._starts = topology.indptr[:-1]
+        self._indices = topology.indices
+        self._degrees = topology.degrees
+
+    def draw_round(self, source: RandomSource) -> np.ndarray:
+        u = source.random(self.n)
+        offsets = np.minimum(
+            (u * self._degrees).astype(np.int64), self._degrees - 1
+        )
+        return self._indices[self._starts + offsets]
+
+    def draw_block(self, source: RandomSource, k: int) -> np.ndarray:
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        u = source.random((self.n, k))
+        offsets = np.minimum(
+            (u * self._degrees[:, None]).astype(np.int64),
+            (self._degrees - 1)[:, None],
+        )
+        return self._indices[self._starts[:, None] + offsets]
+
+
+class RoundRobinSampler(PeerSampler):
+    """Shuffled round-robin over each node's neighbors.
+
+    Every node walks a private random permutation of its neighbor list,
+    one neighbor per round; when a node exhausts its list the segment is
+    reshuffled and the walk restarts.  Over any window of ``deg(v)``
+    consecutive rounds node ``v`` contacts every neighbor exactly once —
+    the low-variance "quasi-random" gossip schedule.
+
+    The sampler is stateful (positions and current permutations); use a
+    fresh instance per run.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        if topology.is_complete:
+            raise ConfigurationError(
+                "round-robin over the complete graph would materialise "
+                "n(n-1) arcs; use a sparse topology"
+            )
+        super().__init__(topology.n)
+        _require_gossipable(topology)
+        self.topology = topology
+        self._starts = topology.indptr[:-1]
+        self._degrees = topology.degrees
+        self._segment_ids = np.repeat(
+            np.arange(topology.n, dtype=np.int64), self._degrees
+        )
+        self._order: Optional[np.ndarray] = None
+        self._pos = np.zeros(topology.n, dtype=np.int64)
+
+    def _shuffle_segments(self, source: RandomSource, which: np.ndarray) -> None:
+        """Reshuffle the neighbor permutation of the nodes in ``which``."""
+        arc_mask = which[self._segment_ids]
+        keys = source.random(int(arc_mask.sum()))
+        segment = self._segment_ids[arc_mask]
+        # lexsort is stable and sorts primarily by segment, then by the
+        # random keys: an independent uniform permutation per segment.
+        order = np.lexsort((keys, segment))
+        self._order[arc_mask] = self._order[arc_mask][order]
+
+    def draw_round(self, source: RandomSource) -> np.ndarray:
+        if self._order is None:
+            self._order = self.topology.indices.copy()
+            self._shuffle_segments(source, np.ones(self.n, dtype=bool))
+        partners = self._order[self._starts + self._pos]
+        self._pos += 1
+        wrapped = self._pos >= self._degrees
+        if np.any(wrapped):
+            self._shuffle_segments(source, wrapped)
+            self._pos[wrapped] = 0
+        return partners
+
+
+def resolve_peer_sampler(
+    topology: Optional[Topology],
+    sampling: str = "uniform",
+    n: Optional[int] = None,
+    allow_self: bool = False,
+) -> PeerSampler:
+    """Build the sampler for a run.
+
+    ``topology=None`` and the symbolic complete graph both resolve to
+    :class:`UniformSampler` — the historical uniform-gossip stream — so the
+    default configuration stays bit-identical to pre-topology behaviour.
+    Requesting a non-uniform strategy there is an error rather than a
+    silent fallback: round-robin over ``n - 1`` neighbors would need the
+    materialised complete graph.
+    """
+    if sampling not in PEER_SAMPLING_CHOICES:
+        raise ConfigurationError(
+            f"unknown peer sampling {sampling!r}; choose from "
+            f"{PEER_SAMPLING_CHOICES}"
+        )
+    if topology is not None and n is not None and topology.n != n:
+        raise ConfigurationError(
+            f"topology has {topology.n} nodes but the protocol has {n}"
+        )
+    if topology is None or topology.is_complete:
+        if sampling != "uniform":
+            raise ConfigurationError(
+                f"peer sampling {sampling!r} needs a sparse topology; "
+                "uniform gossip on the complete graph only supports 'uniform'"
+            )
+        size = topology.n if topology is not None else n
+        if size is None:
+            raise ConfigurationError("n is required when no topology is given")
+        return UniformSampler(size, allow_self=allow_self)
+    if sampling == "round-robin":
+        return RoundRobinSampler(topology)
+    return NeighborSampler(topology)

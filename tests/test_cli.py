@@ -48,6 +48,38 @@ def test_query_exact(tmp_path, capsys):
     assert "exact 0.25-quantile = 64.0" in out
 
 
+def test_topology_experiment_command(capsys):
+    assert main([
+        "topology", "--sizes", "256", "--trials", "1", "--seed", "5",
+        "--topology", "complete", "regular", "--degree", "6",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "spectral_gap" in out
+    assert "regular" in out
+
+
+def test_query_approximate_on_topology(tmp_path, capsys):
+    values = np.arange(1.0, 513.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    assert main([
+        "query", "--input", str(path), "--phi", "0.5", "--eps", "0.1",
+        "--seed", "1", "--topology", "small-world", "--degree", "8",
+        "--rewire-p", "0.2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "on small-world" in out
+
+
+def test_query_exact_rejects_topology(tmp_path):
+    values = np.arange(1.0, 257.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    with pytest.raises(SystemExit):
+        main(["query", "--input", str(path), "--phi", "0.5",
+              "--topology", "ring"])
+
+
 def test_unknown_command_errors():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -11,6 +11,7 @@ dispatch to the vectorized path blindly.
 import numpy as np
 import pytest
 
+from repro.aggregates.broadcast import BroadcastProtocol
 from repro.aggregates.counting import count_leq
 from repro.aggregates.extrema import ExtremaProtocol, spread_extrema
 from repro.aggregates.push_sum import PushSumProtocol, push_sum_average, push_sum_sum
@@ -22,6 +23,7 @@ from repro.gossip.engine import (
     supports_batch,
 )
 from repro.gossip.protocol import BatchAction, BatchGossipProtocol
+from repro.topology import random_regular, ring, watts_strogatz
 from repro.utils.rand import RandomSource
 
 
@@ -47,11 +49,16 @@ def make_extrema_min(n, seed):
     return ExtremaProtocol(_values(n, seed), mode="min")
 
 
+def make_broadcast(n, seed):
+    return BroadcastProtocol(n, source=seed % n)
+
+
 FACTORIES = [
     make_push_sum,
     make_push_sum_weighted,
     make_extrema_max,
     make_extrema_min,
+    make_broadcast,
 ]
 
 GRID = [
@@ -62,13 +69,18 @@ GRID = [
 ]
 
 
-def _run_both(factory, n, mu, seed):
+def _run_both(factory, n, mu, seed, topology_factory=None, peer_sampling="uniform"):
     failure = mu if mu > 0 else None
+    kwargs = {}
+    if topology_factory is not None:
+        kwargs["peer_sampling"] = peer_sampling
     loop = run_protocol_loop(
-        factory(n, seed), rng=seed, failure_model=failure, raise_on_budget=False
+        factory(n, seed), rng=seed, failure_model=failure, raise_on_budget=False,
+        topology=topology_factory(n) if topology_factory else None, **kwargs
     )
     vec = run_protocol_vectorized(
-        factory(n, seed), rng=seed, failure_model=failure, raise_on_budget=False
+        factory(n, seed), rng=seed, failure_model=failure, raise_on_budget=False,
+        topology=topology_factory(n) if topology_factory else None, **kwargs
     )
     return loop, vec
 
@@ -91,6 +103,29 @@ def _assert_identical(loop, vec):
 @pytest.mark.parametrize("n,mu,seed", GRID)
 def test_loop_and_vectorized_engines_are_bit_identical(factory, n, mu, seed):
     loop, vec = _run_both(factory, n, mu, seed)
+    _assert_identical(loop, vec)
+
+
+TOPOLOGY_FACTORIES = [
+    lambda n: ring(n, k=2),
+    lambda n: random_regular(n, 6, rng=n),
+    lambda n: watts_strogatz(n, 6, 0.2, rng=n),
+]
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=lambda f: f.__name__)
+@pytest.mark.parametrize(
+    "topology_factory", TOPOLOGY_FACTORIES, ids=["ring", "regular", "small-world"]
+)
+@pytest.mark.parametrize("peer_sampling", ["uniform", "round-robin"])
+def test_engines_bit_identical_on_sparse_topologies(
+    factory, topology_factory, peer_sampling
+):
+    """The equivalence contract holds on every topology, not just complete."""
+    loop, vec = _run_both(
+        factory, 96, 0.25, 7,
+        topology_factory=topology_factory, peer_sampling=peer_sampling,
+    )
     _assert_identical(loop, vec)
 
 
@@ -135,15 +170,18 @@ def test_auto_dispatch_selects_vectorized_for_batch_protocols():
 
 
 def test_vectorized_engine_rejects_loop_only_protocols():
-    from repro.aggregates.broadcast import BroadcastProtocol
+    class LoopOnly(PushSumProtocol):
+        """A protocol that never implemented the batch API."""
 
-    protocol = BroadcastProtocol(16)
+        supports_batch = False
+
+    protocol = LoopOnly(_values(16, seed=4), rounds=3)
     assert not supports_batch(protocol)
     with pytest.raises(ProtocolError):
         run_protocol_vectorized(protocol, rng=0)
     # auto dispatch falls back to the loop engine without error
-    result = run_protocol(BroadcastProtocol(16), rng=0, engine="auto",
-                          raise_on_budget=False)
+    result = run_protocol(LoopOnly(_values(16, seed=4), rounds=3), rng=0,
+                          engine="auto", raise_on_budget=False)
     assert result.rounds > 0
 
 

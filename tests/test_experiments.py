@@ -14,12 +14,13 @@ from repro.experiments import (
     schedule_validation,
     self_rank,
     token_distribution,
+    topology_sweep,
 )
 from repro.experiments.runner import REGISTRY, run_experiment
 
 
 def test_registry_contains_all_experiments():
-    assert len(REGISTRY) == 10
+    assert len(REGISTRY) == 11
     for spec in REGISTRY.values():
         assert spec.columns
         assert spec.claim
@@ -116,6 +117,69 @@ def test_token_distribution_rows():
     rows = token_distribution.run(sizes=(256,), mus=(0.0,), trials=1, seed=9)
     assert len(rows) == 1
     assert rows[0]["max_tokens_per_node"] <= 16
+
+
+def test_topology_sweep_rows():
+    rows = topology_sweep.run(
+        sizes=(512,),
+        topologies=("complete", "regular", "ring"),
+        protocols=("push-sum", "broadcast"),
+        degree=8,
+        max_rounds=300,
+        trials=1,
+        seed=10,
+    )
+    assert len(rows) == 6
+    by_key = {(row["topology"], row["protocol"]): row for row in rows}
+    # the complete graph and the expander converge; their gaps are constants
+    assert by_key[("complete", "push-sum")]["converged_fraction"] == 1.0
+    assert by_key[("regular", "push-sum")]["converged_fraction"] == 1.0
+    assert by_key[("regular", "push-sum")]["spectral_gap"] > 0.1
+    # the ring mixes polynomially slowly: it must need far more rounds (or
+    # hit the cap) and its spectral gap collapses
+    assert (
+        by_key[("ring", "push-sum")]["rounds"]
+        > 5 * by_key[("regular", "push-sum")]["rounds"]
+    )
+    assert by_key[("ring", "push-sum")]["spectral_gap"] < 0.02
+    # broadcast informs everyone on every connected topology at this size
+    for topo in ("complete", "regular", "ring"):
+        assert by_key[(topo, "broadcast")]["quality"] == 1.0
+
+
+def test_topology_sweep_rows_identical_for_any_worker_count():
+    kwargs = dict(
+        sizes=(256,),
+        topologies=("complete", "small-world"),
+        protocols=("push-sum", "approx-quantile"),
+        max_rounds=200,
+        trials=2,
+        seed=6,
+    )
+    assert topology_sweep.run(workers=1, **kwargs) == topology_sweep.run(
+        workers=4, **kwargs
+    )
+
+
+def test_topology_sweep_rejects_unknown_protocol():
+    with pytest.raises(ConfigurationError):
+        topology_sweep.run(sizes=(64,), protocols=("frisbee",), trials=1)
+
+
+def test_run_experiment_forwards_topology_kwargs():
+    rows_text = run_experiment(
+        "topology",
+        output="rows",
+        sizes=(256,),
+        topologies=("regular",),
+        protocols=("broadcast",),
+        degree=6,
+        trials=1,
+        seed=2,
+    )
+    assert "'topology': 'regular'" in rows_text
+    with pytest.raises(ConfigurationError):
+        run_experiment("schedules", topologies=("ring",), sizes=(256,))
 
 
 def test_run_experiment_renders_table_and_csv():
