@@ -75,6 +75,13 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--phi", type=float, required=True)
     query.add_argument("--eps", type=float, default=None,
                        help="approximation parameter; omit for the exact algorithm")
+    query.add_argument(
+        "--fidelity", choices=("idealized", "simulated"), default="idealized",
+        help="exact algorithm only: 'simulated' drives every sub-protocol "
+             "through the (vectorized) gossip substrates; 'idealized' "
+             "computes their outcomes directly and charges the proven "
+             "round cost",
+    )
     query.add_argument("--seed", type=int, default=0)
     query.add_argument(
         "--engine", choices=ENGINE_CHOICES, default=None,
@@ -113,6 +120,13 @@ def _experiment_kwargs(args: argparse.Namespace) -> dict:
 
 def _run_query(args: argparse.Namespace) -> str:
     values = np.loadtxt(args.input, dtype=float).ravel()
+    if args.eps is None and args.topology is not None:
+        # reject before building the (potentially large) topology
+        raise SystemExit(
+            "--topology currently applies to the approximate algorithm "
+            "only; pass --eps (the exact driver's sub-protocols are a "
+            "follow-up, see ROADMAP.md)"
+        )
     topology = None
     if args.topology is not None:
         topology = build_topology(
@@ -123,16 +137,13 @@ def _run_query(args: argparse.Namespace) -> str:
             rng=args.seed,
         )
     if args.eps is None:
-        if topology is not None:
-            raise SystemExit(
-                "--topology currently applies to the approximate algorithm "
-                "only; pass --eps (the exact driver's sub-protocols are a "
-                "follow-up, see ROADMAP.md)"
-            )
-        result = exact_quantile(values, phi=args.phi, rng=args.seed)
+        result = exact_quantile(
+            values, phi=args.phi, rng=args.seed, fidelity=args.fidelity
+        )
         return (
             f"exact {args.phi}-quantile = {result.value} "
-            f"(rank {result.target_rank} of {result.n}, {result.rounds} gossip rounds)"
+            f"(rank {result.target_rank} of {result.n}, {result.rounds} gossip "
+            f"rounds, {result.fidelity})"
         )
     result = approximate_quantile(
         values, phi=args.phi, eps=args.eps, rng=args.seed, topology=topology

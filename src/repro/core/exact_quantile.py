@@ -47,6 +47,18 @@ Implementation notes (documented deviations, see DESIGN.md §4):
   directly and charges their proven O(log n) round cost, which lets the
   benchmark harness sweep larger n.  The approximate-quantile computations
   (the paper's contribution) are always simulated.
+* **Fast simulated path.**  Every simulated substrate is vectorized: the
+  tournaments run on the batched :class:`~repro.gossip.network.GossipNetwork`
+  pull surface, extrema/counting on the vectorized gossip engine, and token
+  duplication on the vectorized engine of :mod:`repro.core.tokens` (selected
+  through the global engine default, so ``--engine loop`` restores the
+  scalar reference path).  The vectorized token engine draws its push
+  targets in batches, a different random stream from the loop engine, so
+  seeded simulated runs differ from (pre-PR-3) loop-engine runs in their
+  token placements and round counts while all invariants and the returned
+  quantile are unchanged.  Simulated exact queries complete in seconds at
+  n = 10⁵ (see ``benchmarks/bench_exact_quantile.py`` and the
+  ``exact-scale`` experiment preset).
 """
 
 from __future__ import annotations
@@ -309,9 +321,12 @@ def exact_quantile(
         new_key_values = np.repeat(key_values[below_min:upto_max], multiplicity)
 
         if simulate:
-            valued_keys = np.arange(below_min + 1, upto_max + 1, dtype=float)
-            holder_of_key = {float(key): idx for idx, key in enumerate(node_keys)}
-            item_nodes = [holder_of_key[float(key)] for key in valued_keys]
+            # Keys are exactly {1..live}, each held by one node: an inverse
+            # permutation maps the surviving key block to its holders.
+            finite = np.isfinite(node_keys)
+            key_holder = np.empty(live, dtype=np.int64)
+            key_holder[node_keys[finite].astype(np.int64) - 1] = np.flatnonzero(finite)
+            item_nodes = key_holder[below_min:upto_max]
             distribution = distribute_tokens(
                 item_nodes,
                 multiplicity=multiplicity,
@@ -321,15 +336,19 @@ def exact_quantile(
                 metrics=metrics,
             )
             # Item j owns the key block (j*multiplicity, (j+1)*multiplicity];
-            # hand block members to the owner nodes in arbitrary order.
+            # hand block members to the owner nodes in arbitrary order (here:
+            # ascending node order within each item, matching the historical
+            # per-node loop bit for bit).
             node_keys = np.full(n, np.inf)
-            next_offset = np.zeros(valued_count, dtype=int)
-            for node in range(n):
-                item = distribution.owners[node]
-                if item < 0:
-                    continue
-                node_keys[node] = item * multiplicity + next_offset[item] + 1
-                next_offset[item] += 1
+            owners = distribution.owners
+            nodes = np.flatnonzero(owners >= 0)
+            items_held = owners[nodes]
+            order = np.argsort(items_held, kind="stable")
+            node_keys[nodes[order]] = (
+                items_held[order].astype(np.int64) * multiplicity
+                + np.arange(nodes.size, dtype=np.int64) % multiplicity
+                + 1
+            )
         else:
             node_keys = np.full(n, np.inf)
             node_keys[:new_live] = np.arange(1, new_live + 1, dtype=float)

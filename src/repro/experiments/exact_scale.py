@@ -1,0 +1,112 @@
+"""E12 — Theorem 1.1 at scale: simulated-fidelity exact quantiles, n ≥ 10⁴.
+
+The original exact-rounds experiment (E1) sweeps small networks because the
+simulated-fidelity driver used to be gated by the loop-only token
+split-and-distribute step.  With every sub-protocol vectorized (tournament
+pulls, extrema, counting and now tokens) the *fully simulated* exact
+algorithm runs at n = 10⁵ in seconds, which is the regime where comparisons
+against the congested-clique-style related work become meaningful.
+
+For each (n, φ) the experiment runs the exact algorithm end to end in
+simulated fidelity and reports round counts (the Theorem 1.1 shape check:
+rounds / log₂ n stays bounded), duplication iterations, sandwich retries,
+wall-clock time, and exactness against the offline quantile.  Trials
+dispatch through :func:`repro.experiments.runner.run_trials`; the per-n
+value array is published to worker processes through shared memory instead
+of being pickled per trial.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from functools import partial
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.exact_quantile import exact_quantile
+from repro.datasets.generators import distinct_uniform
+from repro.utils.rand import RandomSource
+from repro.utils.stats import empirical_quantile
+
+COLUMNS = [
+    "n",
+    "phi",
+    "trials",
+    "fidelity",
+    "rounds",
+    "rounds_per_logn",
+    "iterations",
+    "retries",
+    "wall_s",
+    "correct",
+]
+
+
+def _run_one_trial(
+    phi: float,
+    fidelity: str,
+    truth: float,
+    trial_index: int,
+    rng: RandomSource,
+    values: Optional[np.ndarray] = None,
+) -> Dict[str, float]:
+    """One simulated exact query; module-level so process pools can pickle it.
+
+    ``values`` arrives as a (read-only) shared-memory view published by
+    :func:`repro.experiments.runner.run_trials`; ``truth`` is the offline
+    quantile, computed once per (n, phi) rather than per trial.
+    """
+    start = time.perf_counter()
+    result = exact_quantile(values, phi=phi, rng=rng, fidelity=fidelity)
+    wall = time.perf_counter() - start
+    return {
+        "rounds": float(result.rounds),
+        "iterations": float(result.iterations),
+        "retries": float(result.retries),
+        "wall_s": wall,
+        "correct": float(result.value == truth),
+    }
+
+
+def run(
+    sizes: Sequence[int] = (10_000, 100_000, 300_000),
+    phis: Sequence[float] = (0.5,),
+    trials: int = 1,
+    seed: int = 21,
+    fidelity: str = "simulated",
+    workers: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Run experiment E12 and return one row per (n, phi)."""
+    from repro.experiments.runner import run_trials
+
+    master = RandomSource(seed)
+    rows: List[Dict[str, float]] = []
+    for n in sizes:
+        values = distinct_uniform(n, rng=master.child())
+        for phi in phis:
+            truth = empirical_quantile(values, phi)
+            outcomes = run_trials(
+                partial(_run_one_trial, phi, fidelity, truth),
+                trials,
+                seed=master.child(),
+                workers=workers,
+                shared={"values": values},
+            )
+            mean_rounds = float(np.mean([o["rounds"] for o in outcomes]))
+            rows.append(
+                {
+                    "n": n,
+                    "phi": phi,
+                    "trials": trials,
+                    "fidelity": fidelity,
+                    "rounds": mean_rounds,
+                    "rounds_per_logn": mean_rounds / math.log2(n),
+                    "iterations": float(np.mean([o["iterations"] for o in outcomes])),
+                    "retries": float(np.mean([o["retries"] for o in outcomes])),
+                    "wall_s": float(np.mean([o["wall_s"] for o in outcomes])),
+                    "correct": float(np.mean([o["correct"] for o in outcomes])),
+                }
+            )
+    return rows

@@ -12,7 +12,10 @@ from __future__ import annotations
 import inspect
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.analysis.tables import format_table, rows_to_csv
 from repro.exceptions import ConfigurationError
@@ -23,6 +26,7 @@ from repro.experiments import (
     approx_rounds,
     baselines_compare,
     exact_rounds,
+    exact_scale,
     lower_bound,
     message_size,
     robustness,
@@ -51,6 +55,13 @@ REGISTRY: Dict[str, ExperimentSpec] = {
         description="Exact quantile rounds: tournament Θ(log n) vs Kempe Θ(log² n)",
         run=exact_rounds.run,
         columns=exact_rounds.COLUMNS,
+    ),
+    "exact-scale": ExperimentSpec(
+        name="exact-scale",
+        claim="Theorem 1.1 at scale",
+        description="Fully simulated exact quantiles at n ≥ 10⁴ on the vectorized substrates",
+        run=exact_scale.run,
+        columns=exact_scale.COLUMNS,
     ),
     "approx-rounds": ExperimentSpec(
         name="approx-rounds",
@@ -125,11 +136,64 @@ REGISTRY: Dict[str, ExperimentSpec] = {
 }
 
 
+#: Worker-process registry of attached shared arrays, keyed by kwarg name.
+#: Populated by :func:`_worker_initializer`; the segments are kept referenced
+#: for the worker's lifetime so the views stay valid.
+_WORKER_SHARED_VIEWS: Dict[str, "np.ndarray"] = {}
+_WORKER_SHARED_SEGMENTS: List[shared_memory.SharedMemory] = []
+
+#: Spec describing one shared array: (kwarg name, shm name, shape, dtype str).
+_SharedSpec = Tuple[str, str, Tuple[int, ...], str]
+
+
+def _worker_initializer(engine: str, specs: Tuple[_SharedSpec, ...] = ()) -> None:
+    """Pool initializer: re-apply the engine default, attach shared arrays.
+
+    With the spawn/forkserver start methods a fresh interpreter would
+    otherwise fall back to the "auto" engine default and ignore an
+    ``--engine`` override.  Shared arrays are attached once per worker and
+    handed to every task as read-only keyword arguments, so large value
+    arrays cross the process boundary through shared memory instead of
+    being pickled per trial.
+    """
+    set_default_engine(engine)
+    _WORKER_SHARED_VIEWS.clear()
+    import multiprocessing
+
+    own_tracker = multiprocessing.get_start_method(allow_none=False) != "fork"
+    for name, shm_name, shape, dtype in specs:
+        segment = shared_memory.SharedMemory(name=shm_name)
+        if own_tracker:
+            # The parent owns (and unlinks) the segment.  Under spawn /
+            # forkserver the worker has its own resource tracker which
+            # would claim the attached segment and emit spurious "leaked
+            # shared_memory" warnings at exit; under fork the tracker is
+            # shared with the parent and must keep its entry.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:  # pragma: no cover - CPython implementation detail
+                pass
+        _WORKER_SHARED_SEGMENTS.append(segment)
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        view.flags.writeable = False
+        _WORKER_SHARED_VIEWS[name] = view
+
+
+def _run_task_with_shared(
+    task: Callable[..., Any], index: int, rng: RandomSource
+) -> Any:
+    """Module-level trampoline: forwards the worker's shared views to the task."""
+    return task(index, rng, **_WORKER_SHARED_VIEWS)
+
+
 def run_trials(
     task: Callable[[int, RandomSource], Any],
     trials: int,
     seed: SeedLike = None,
     workers: Optional[int] = None,
+    shared: Optional[Mapping[str, "np.ndarray"]] = None,
 ) -> List[Any]:
     """Run ``task(trial_index, rng)`` once per trial, optionally in parallel.
 
@@ -143,6 +207,8 @@ def run_trials(
     task:
         A picklable callable (module-level function or
         :func:`functools.partial` of one) taking ``(trial_index, rng)``.
+        When ``shared`` is given the task additionally receives each shared
+        array as a keyword argument: ``task(index, rng, name=array, ...)``.
     trials:
         Number of trials to run.
     seed:
@@ -150,24 +216,57 @@ def run_trials(
     workers:
         ``None`` or ``<= 1`` runs inline; larger values use a
         ``concurrent.futures`` process pool of that size.
+    shared:
+        Optional mapping of keyword name to numpy array.  The arrays are
+        published to the worker processes once, through POSIX shared memory
+        (``multiprocessing.shared_memory``), instead of being pickled into
+        every task submission — at large ``n`` this removes the dominant
+        serialization cost of fan-out experiments.  Workers receive
+        read-only views; tasks must copy before mutating.  The inline path
+        passes the arrays through unchanged (also read-only, for parity).
     """
     if trials < 0:
         raise ConfigurationError("trials must be non-negative")
+    shared_arrays: Dict[str, np.ndarray] = {}
+    for name, array in (shared or {}).items():
+        arr = np.ascontiguousarray(array)
+        arr = arr.view()
+        arr.flags.writeable = False
+        shared_arrays[name] = arr
     rngs = spawn_rngs(seed, trials)
     if workers is None or workers <= 1 or trials <= 1:
-        return [task(index, rng) for index, rng in enumerate(rngs)]
-    with ProcessPoolExecutor(
-        max_workers=min(workers, trials),
-        # Re-apply the parent's engine selection in every worker: with the
-        # spawn/forkserver start methods a fresh interpreter would otherwise
-        # fall back to the "auto" default and ignore an --engine override.
-        initializer=set_default_engine,
-        initargs=(get_default_engine(),),
-    ) as pool:
-        futures = [
-            pool.submit(task, index, rng) for index, rng in enumerate(rngs)
-        ]
-        return [future.result() for future in futures]
+        return [task(index, rng, **shared_arrays) for index, rng in enumerate(rngs)]
+
+    segments: List[shared_memory.SharedMemory] = []
+    specs: List[_SharedSpec] = []
+    try:
+        for name, arr in shared_arrays.items():
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(int(arr.nbytes), 1)
+            )
+            if arr.size:
+                np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)[...] = arr
+            segments.append(segment)
+            specs.append((name, segment.name, arr.shape, arr.dtype.str))
+        with ProcessPoolExecutor(
+            max_workers=min(workers, trials),
+            initializer=_worker_initializer,
+            initargs=(get_default_engine(), tuple(specs)),
+        ) as pool:
+            if specs:
+                futures = [
+                    pool.submit(_run_task_with_shared, task, index, rng)
+                    for index, rng in enumerate(rngs)
+                ]
+            else:
+                futures = [
+                    pool.submit(task, index, rng) for index, rng in enumerate(rngs)
+                ]
+            return [future.result() for future in futures]
+    finally:
+        for segment in segments:
+            segment.close()
+            segment.unlink()
 
 
 def run_experiment(

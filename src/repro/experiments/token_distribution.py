@@ -9,7 +9,7 @@ node (should stay O(1), which is what makes each phase O(1) rounds).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.utils.rand import RandomSource
 COLUMNS = [
     "n",
     "mu",
+    "engine",
     "items",
     "multiplicity",
     "trials",
@@ -37,8 +38,14 @@ def run(
     multiplicity: int = 8,
     trials: int = 3,
     seed: int = 9,
+    engine: Optional[str] = None,
 ) -> List[Dict[str, float]]:
-    """Run experiment E9 and return one row per (n, mu)."""
+    """Run experiment E9 and return one row per (n, mu).
+
+    ``engine`` selects the token engine (``"loop"`` / ``"vectorized"``);
+    ``None`` defers to the global engine default, like every other
+    experiment.
+    """
     rng = RandomSource(seed)
     rows: List[Dict[str, float]] = []
     for n in sizes:
@@ -48,6 +55,7 @@ def run(
             rounds = []
             max_tokens = []
             failed = []
+            used_engine = "auto"
             for _ in range(trials):
                 trial_rng = rng.child()
                 item_nodes = trial_rng.choice(
@@ -59,7 +67,9 @@ def run(
                     n=n,
                     rng=trial_rng.child(),
                     failure_model=mu if mu > 0 else None,
+                    engine=engine,
                 )
+                used_engine = result.engine
                 phases.append(result.phases)
                 rounds.append(result.rounds)
                 max_tokens.append(result.max_tokens_per_node)
@@ -68,6 +78,7 @@ def run(
                 {
                     "n": n,
                     "mu": mu,
+                    "engine": used_engine,
                     "items": items,
                     "multiplicity": multiplicity,
                     "trials": trials,

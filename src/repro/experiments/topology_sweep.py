@@ -96,7 +96,8 @@ def _run_cell(
     if protocol == "push-sum":
         proto = PushSumProtocol(values, rounds=max_rounds, tolerance=tolerance)
         result = run_protocol(
-            proto, rng=rng.child(), topology=topology, raise_on_budget=False
+            proto, rng=rng.child(), topology=topology, raise_on_budget=False,
+            max_rounds=max_rounds + 1,
         )
         spread = proto.relative_spread()
         return {
@@ -109,7 +110,8 @@ def _run_cell(
     if protocol == "broadcast":
         proto = BroadcastProtocol(n, max_rounds=max_rounds)
         result = run_protocol(
-            proto, rng=rng.child(), topology=topology, raise_on_budget=False
+            proto, rng=rng.child(), topology=topology, raise_on_budget=False,
+            max_rounds=max_rounds + 1,
         )
         informed = proto.informed_count / n
         return {

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.topology.graphs import Topology
-from repro.utils.rand import RandomSource
+from repro.utils.rand import RandomSource, resample_forbidden_targets
 
 #: Peer-sampling strategies accepted by :func:`resolve_peer_sampler`.
 PEER_SAMPLING_CHOICES = ("uniform", "round-robin")
@@ -46,12 +46,7 @@ def draw_uniform_round_partners(source: RandomSource, n: int) -> np.ndarray:
     preserves the random stream of every seeded pre-topology run.
     """
     partners = source.integers(0, n, size=n)
-    own = np.arange(n)
-    mask = partners == own
-    while np.any(mask):
-        partners[mask] = source.integers(0, n, size=int(mask.sum()))
-        mask = partners == own
-    return partners
+    return resample_forbidden_targets(source, partners, np.arange(n), n)
 
 
 def _require_gossipable(topology: Topology) -> None:
@@ -105,10 +100,7 @@ class UniformSampler(PeerSampler):
         partners = source.uniform_partners(self.n, k)
         if not self._allow_self:
             own = np.arange(self.n)[:, None]
-            mask = partners == own
-            while np.any(mask):
-                partners[mask] = source.integers(0, self.n, size=int(mask.sum()))
-                mask = partners == own
+            resample_forbidden_targets(source, partners, own, self.n)
         return partners
 
 

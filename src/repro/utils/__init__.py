@@ -1,6 +1,11 @@
 """Shared low-level utilities: seeded randomness, math helpers, statistics."""
 
-from repro.utils.rand import RandomSource, spawn_rngs
+from repro.utils.rand import (
+    RandomSource,
+    draw_targets_excluding,
+    resample_forbidden_targets,
+    spawn_rngs,
+)
 from repro.utils.mathutils import (
     ceil_log2,
     ceil_pow2,
@@ -19,6 +24,8 @@ from repro.utils.stats import (
 
 __all__ = [
     "RandomSource",
+    "draw_targets_excluding",
+    "resample_forbidden_targets",
     "spawn_rngs",
     "ceil_log2",
     "ceil_pow2",

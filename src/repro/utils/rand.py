@@ -16,6 +16,53 @@ import numpy as np
 SeedLike = Union[int, np.random.SeedSequence, "RandomSource", None]
 
 
+def resample_forbidden_targets(
+    source: "RandomSource",
+    targets: np.ndarray,
+    forbidden: np.ndarray,
+    n: int,
+) -> np.ndarray:
+    """Re-draw, in place, every entry of ``targets`` equal to ``forbidden``.
+
+    The shared masked-re-draw kernel behind every "uniform partner that is
+    not myself" draw in the library: an already-drawn uniform ``targets``
+    array is compared against ``forbidden`` (same shape, or broadcastable to
+    it) and colliding entries are re-drawn in vectorized batches until none
+    remain.  Each pass re-draws only the colliding entries with a single
+    ``integers`` call, so the expected number of passes is constant
+    (collisions happen with probability ``1/n``).
+
+    This replaces the scalar "re-draw while the target equals the node"
+    rejection loops that used to be re-implemented at every call site.
+    The draw order — one full-size draw by the caller, then masked
+    re-draws — is byte-for-byte the historical partner stream, so seeded
+    runs through :func:`repro.topology.sampler.draw_uniform_round_partners`
+    and friends are unchanged.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 possible targets to exclude one")
+    mask = targets == forbidden
+    while np.any(mask):
+        targets[mask] = source.integers(0, n, size=int(mask.sum()))
+        mask = targets == forbidden
+    return targets
+
+
+def draw_targets_excluding(
+    source: "RandomSource", n: int, forbidden: np.ndarray
+) -> np.ndarray:
+    """Uniform targets in ``[0, n)``, one per ``forbidden`` entry, avoiding it.
+
+    Vectorized batch draw used by token pushes and partner selection: draws
+    ``forbidden.shape`` uniform targets and rejection-resamples collisions
+    via :func:`resample_forbidden_targets` (a masked re-draw, not a scalar
+    ``while`` loop).
+    """
+    forbidden = np.asarray(forbidden)
+    targets = source.integers(0, n, size=forbidden.shape)
+    return resample_forbidden_targets(source, targets, forbidden, n)
+
+
 class RandomSource:
     """A reproducible source of randomness with cheap child spawning.
 

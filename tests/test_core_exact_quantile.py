@@ -103,3 +103,57 @@ def test_deterministic_given_seed(small_values):
     b = exact_quantile(small_values, phi=0.7, rng=13)
     assert a.value == b.value
     assert a.rounds == b.rounds
+
+
+# ---- the fast simulated path (PR 3) -----------------------------------------
+
+
+def test_simulated_fidelity_exact_at_scale():
+    """Regression for the end-to-end vectorized path: a fully simulated
+    exact query at n = 10⁴ returns the true quantile in seconds."""
+    n = 10_000
+    values = np.random.default_rng(7).permutation(n).astype(float)
+    result = exact_quantile(values, phi=0.5, rng=8, fidelity="simulated")
+    assert result.value == empirical_quantile(values, 0.5)
+    assert result.fidelity == "simulated"
+    assert result.rounds > 0
+
+
+def test_simulated_loop_engine_bit_identical_to_pre_vectorization():
+    """With the loop engines forced globally, the simulated driver must
+    reproduce the pre-PR-3 seeded execution exactly (value, rounds,
+    iterations and retries)."""
+    from repro.gossip.engine import get_default_engine, set_default_engine
+
+    values = np.random.default_rng(42).permutation(512).astype(float)
+    before = get_default_engine()
+    set_default_engine("loop")
+    try:
+        result = exact_quantile(values, phi=0.7, rng=11, fidelity="simulated")
+    finally:
+        set_default_engine(before)
+    assert result.value == 358.0
+    assert result.rounds == 609
+    assert result.iterations == 3
+    assert result.retries == 3
+
+
+def test_simulated_fidelity_engine_choice_does_not_change_the_answer():
+    """Loop and vectorized token engines walk different random streams but
+    must both return the exact quantile."""
+    from repro.gossip.engine import get_default_engine, set_default_engine
+
+    values = np.random.default_rng(3).permutation(1024).astype(float)
+    truth = empirical_quantile(values, 0.4)
+    before = get_default_engine()
+    results = {}
+    try:
+        for engine in ("loop", "vectorized"):
+            set_default_engine(engine)
+            results[engine] = exact_quantile(
+                values, phi=0.4, rng=19, fidelity="simulated"
+            )
+    finally:
+        set_default_engine(before)
+    assert results["loop"].value == truth
+    assert results["vectorized"].value == truth

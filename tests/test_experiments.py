@@ -20,7 +20,7 @@ from repro.experiments.runner import REGISTRY, run_experiment
 
 
 def test_registry_contains_all_experiments():
-    assert len(REGISTRY) == 11
+    assert len(REGISTRY) == 12
     for spec in REGISTRY.values():
         assert spec.columns
         assert spec.claim
@@ -117,6 +117,40 @@ def test_token_distribution_rows():
     rows = token_distribution.run(sizes=(256,), mus=(0.0,), trials=1, seed=9)
     assert len(rows) == 1
     assert rows[0]["max_tokens_per_node"] <= 16
+    assert rows[0]["engine"] == "vectorized"  # the "auto" default
+
+
+def test_token_distribution_engine_axis():
+    loop_rows = token_distribution.run(
+        sizes=(256,), mus=(0.0,), trials=1, seed=9, engine="loop"
+    )
+    assert loop_rows[0]["engine"] == "loop"
+    assert loop_rows[0]["max_tokens_per_node"] <= 16
+
+
+def test_exact_scale_rows():
+    from repro.experiments import exact_scale
+
+    rows = exact_scale.run(sizes=(1024,), phis=(0.5,), trials=1, seed=21)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["fidelity"] == "simulated"
+    assert row["correct"] == 1.0
+    assert row["rounds"] > 0
+    assert row["wall_s"] > 0
+
+
+def test_exact_scale_rows_identical_for_any_worker_count():
+    from repro.experiments import exact_scale
+
+    kwargs = dict(sizes=(512,), phis=(0.5,), trials=2, seed=5)
+    serial = exact_scale.run(workers=1, **kwargs)
+    parallel = exact_scale.run(workers=2, **kwargs)
+    # wall times differ between runs; everything else must match exactly
+    for a, b in zip(serial, parallel):
+        a = {k: v for k, v in a.items() if k != "wall_s"}
+        b = {k: v for k, v in b.items() if k != "wall_s"}
+        assert a == b
 
 
 def test_topology_sweep_rows():

@@ -72,3 +72,68 @@ def test_permutation_and_choice():
     assert sorted(perm.tolist()) == list(range(10))
     picked = rng.choice(np.arange(10), size=3, replace=False)
     assert len(set(picked.tolist())) == 3
+
+
+# ---- vectorized self-target rejection helpers -------------------------------
+
+
+def test_draw_targets_excluding_never_returns_forbidden():
+    from repro.utils.rand import draw_targets_excluding
+
+    rng = RandomSource(3)
+    forbidden = np.arange(200) % 7  # lots of repeated forbidden values
+    targets = draw_targets_excluding(rng, 7, forbidden)
+    assert targets.shape == forbidden.shape
+    assert np.all(targets != forbidden)
+    assert targets.min() >= 0 and targets.max() < 7
+
+
+def test_draw_targets_excluding_empty_batch():
+    from repro.utils.rand import draw_targets_excluding
+
+    targets = draw_targets_excluding(RandomSource(0), 10, np.array([], dtype=int))
+    assert targets.size == 0
+
+
+def test_resample_forbidden_targets_matches_historical_stream():
+    """The shared helper must consume the RNG exactly like the inline
+    masked-re-draw loop it replaced, so seeded partner draws are unchanged."""
+    from repro.utils.rand import resample_forbidden_targets
+
+    n = 64
+    a, b = RandomSource(17), RandomSource(17)
+
+    partners = a.integers(0, n, size=n)
+    own = np.arange(n)
+    mask = partners == own
+    while np.any(mask):
+        partners[mask] = a.integers(0, n, size=int(mask.sum()))
+        mask = partners == own
+
+    helper = b.integers(0, n, size=n)
+    resample_forbidden_targets(b, helper, own, n)
+    assert np.array_equal(partners, helper)
+
+
+def test_resample_forbidden_targets_rejects_degenerate_n():
+    from repro.utils.rand import resample_forbidden_targets
+
+    with pytest.raises(ValueError):
+        resample_forbidden_targets(
+            RandomSource(0), np.zeros(3, dtype=int), np.zeros(3, dtype=int), 1
+        )
+
+
+def test_scalar_rejection_pattern_is_gone_from_the_tree():
+    """The scalar `while target == node` re-draw pattern must not reappear
+    outside the loop-reference token engine (kept verbatim for
+    bit-identity)."""
+    import pathlib
+
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    offenders = []
+    for path in src.rglob("*.py"):
+        text = path.read_text()
+        if "while target ==" in text and path.name != "tokens.py":
+            offenders.append(str(path))
+    assert not offenders, offenders
