@@ -196,6 +196,7 @@ def push_sum_average(
     topology=None,
     peer_sampling: str = "uniform",
     tolerance: Optional[float] = None,
+    topology_process=None,
 ) -> PushSumResult:
     """Estimate the average of ``values`` at every node via push-sum."""
     protocol = PushSumProtocol(values, rounds=rounds, tolerance=tolerance)
@@ -208,6 +209,7 @@ def push_sum_average(
         engine=engine,
         topology=topology,
         peer_sampling=peer_sampling,
+        topology_process=topology_process,
     )
     return PushSumResult(
         estimates=np.asarray(result.outputs, dtype=float),

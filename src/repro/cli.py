@@ -25,9 +25,10 @@ import numpy as np
 
 from repro.core.approx_quantile import approximate_quantile
 from repro.core.exact_quantile import exact_quantile
+from repro.experiments.churn_sweep import FAILURE_CHOICES
 from repro.experiments.runner import REGISTRY, run_experiment
 from repro.gossip.engine import ENGINE_CHOICES, get_default_engine, set_default_engine
-from repro.topology import TOPOLOGY_CHOICES, build_topology
+from repro.topology import TOPOLOGY_CHOICES, build_topology, validate_topology_flags
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -69,6 +70,23 @@ def _build_parser() -> argparse.ArgumentParser:
             "--rewire-p", type=float, default=None, dest="rewire_p",
             help="rewiring probability of the small-world topology",
         )
+        exp.add_argument(
+            "--churn-rate", type=float, nargs="+", default=None,
+            dest="churn_rate",
+            help="per-round node departure probabilities to sweep "
+                 "(dynamic-topology experiments only)",
+        )
+        exp.add_argument(
+            "--resample-every", type=int, nargs="+", default=None,
+            dest="resample_every",
+            help="newscast view-refresh periods in rounds to sweep "
+                 "(dynamic-topology experiments only)",
+        )
+        exp.add_argument(
+            "--failures", choices=FAILURE_CHOICES, default=None,
+            help="failure layer: none, or topology (position-correlated, "
+                 "hubs fail more)",
+        )
 
     query = sub.add_parser("query", help="compute a quantile of a value file via gossip")
     query.add_argument("--input", required=True, help="text file with one value per line")
@@ -108,18 +126,42 @@ def _experiment_kwargs(args: argparse.Namespace) -> dict:
     if args.seed is not None:
         kwargs["seed"] = args.seed
     # Topology axis: forwarded only when given, so topology-unaware
-    # experiments keep rejecting the flags with a clear error.
+    # experiments keep rejecting the flags with a clear error.  Reject
+    # hyper-parameters none of the named topologies consume instead of
+    # silently dropping them (without --topology the experiment's own
+    # defaults decide, and do use degree/rewire_p).  The churn experiment
+    # always consumes --degree (it doubles as the newscast view size), so
+    # only --rewire-p is family-checked there.
+    validate_topology_flags(
+        args.topology,
+        degree=None if args.command == "churn" else args.degree,
+        rewire_p=args.rewire_p,
+    )
     if args.topology is not None:
         kwargs["topologies"] = tuple(args.topology)
     if args.degree is not None:
         kwargs["degree"] = args.degree
     if args.rewire_p is not None:
         kwargs["rewire_p"] = args.rewire_p
+    if args.churn_rate is not None:
+        kwargs["churn_rates"] = tuple(args.churn_rate)
+    if args.resample_every is not None:
+        kwargs["resample_every"] = tuple(args.resample_every)
+    if args.failures is not None:
+        kwargs["failures"] = args.failures
     return kwargs
 
 
 def _run_query(args: argparse.Namespace) -> str:
     values = np.loadtxt(args.input, dtype=float).ravel()
+    # query has no topology defaults: a hyper-parameter without --topology
+    # (or one its family ignores) would be silently dropped — reject it.
+    validate_topology_flags(
+        [args.topology] if args.topology is not None else None,
+        degree=args.degree,
+        rewire_p=args.rewire_p,
+        require_topology=True,
+    )
     if args.eps is None and args.topology is not None:
         # reject before building the (potentially large) topology
         raise SystemExit(

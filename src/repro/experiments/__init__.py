@@ -12,6 +12,7 @@ from repro.experiments import (
     ablations,
     approx_rounds,
     baselines_compare,
+    churn_sweep,
     exact_rounds,
     lower_bound,
     message_size,
@@ -27,6 +28,7 @@ __all__ = [
     "ablations",
     "approx_rounds",
     "baselines_compare",
+    "churn_sweep",
     "exact_rounds",
     "lower_bound",
     "message_size",

@@ -9,6 +9,7 @@ pool, and are always returned in trial order.
 
 from __future__ import annotations
 
+import atexit
 import inspect
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -25,6 +26,7 @@ from repro.experiments import (
     ablations,
     approx_rounds,
     baselines_compare,
+    churn_sweep,
     exact_rounds,
     exact_scale,
     lower_bound,
@@ -133,6 +135,13 @@ REGISTRY: Dict[str, ExperimentSpec] = {
         run=topology_sweep.run,
         columns=topology_sweep.COLUMNS,
     ),
+    "churn": ExperimentSpec(
+        name="churn",
+        claim="Dynamic topologies",
+        description="Convergence under churn and newscast-style edge resampling",
+        run=churn_sweep.run,
+        columns=churn_sweep.COLUMNS,
+    ),
 }
 
 
@@ -144,6 +153,32 @@ _WORKER_SHARED_SEGMENTS: List[shared_memory.SharedMemory] = []
 
 #: Spec describing one shared array: (kwarg name, shm name, shape, dtype str).
 _SharedSpec = Tuple[str, str, Tuple[int, ...], str]
+
+#: Parent-side registry of live shared segments, keyed by segment name.
+#: Segments register here the moment they are created — before any copy or
+#: pool work that could raise — and deregister when unlinked, so an
+#: interpreter exit between creation and the ``finally`` cleanup (e.g. a
+#: KeyboardInterrupt landing mid-copy, or a crashing worker tearing the
+#: pool down) cannot leak ``/dev/shm`` segments.
+_PARENT_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _release_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink one parent-owned segment, tolerating re-entry."""
+    _PARENT_SEGMENTS.pop(segment.name, None)
+    try:
+        segment.close()
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+def _cleanup_parent_segments() -> None:  # pragma: no cover - exit hook
+    for segment in list(_PARENT_SEGMENTS.values()):
+        _release_segment(segment)
+
+
+atexit.register(_cleanup_parent_segments)
 
 
 def _worker_initializer(engine: str, specs: Tuple[_SharedSpec, ...] = ()) -> None:
@@ -244,9 +279,13 @@ def run_trials(
             segment = shared_memory.SharedMemory(
                 create=True, size=max(int(arr.nbytes), 1)
             )
+            # Register for cleanup *at creation time*: the copy below (or a
+            # later submission) may raise, and the atexit hook covers hard
+            # interpreter exits the ``finally`` block never sees.
+            segments.append(segment)
+            _PARENT_SEGMENTS[segment.name] = segment
             if arr.size:
                 np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)[...] = arr
-            segments.append(segment)
             specs.append((name, segment.name, arr.shape, arr.dtype.str))
         with ProcessPoolExecutor(
             max_workers=min(workers, trials),
@@ -265,8 +304,7 @@ def run_trials(
             return [future.result() for future in futures]
     finally:
         for segment in segments:
-            segment.close()
-            segment.unlink()
+            _release_segment(segment)
 
 
 def run_experiment(

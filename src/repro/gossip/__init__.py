@@ -24,6 +24,8 @@ from repro.gossip.failures import (
     FailureModel,
     NoFailures,
     PerNodeFailures,
+    TopologyFailures,
+    TopologyProcessFailures,
     UniformFailures,
 )
 from repro.gossip.messages import Message, payload_bits
@@ -55,6 +57,8 @@ __all__ = [
     "NoFailures",
     "UniformFailures",
     "PerNodeFailures",
+    "TopologyFailures",
+    "TopologyProcessFailures",
     "Message",
     "payload_bits",
     "NetworkMetrics",

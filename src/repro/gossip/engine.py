@@ -29,6 +29,7 @@ from repro.gossip.failures import FailureModel, resolve_failure_model
 from repro.gossip.messages import payload_bits
 from repro.gossip.metrics import NetworkMetrics, RoundRecord
 from repro.gossip.protocol import Action, BatchAction, BatchGossipProtocol, GossipProtocol
+from repro.topology.dynamic import TopologyProcess, resolve_topology_process
 from repro.topology.graphs import Topology
 from repro.topology.sampler import (
     PeerSampler,
@@ -100,11 +101,25 @@ def _begin_run(
     metrics: Optional[NetworkMetrics],
     topology: Optional[Topology],
     peer_sampling: str,
-) -> Tuple[RandomSource, FailureModel, NetworkMetrics, PeerSampler]:
+    topology_process: Optional[TopologyProcess],
+) -> Tuple[RandomSource, FailureModel, NetworkMetrics, Optional[PeerSampler]]:
     source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
     failures = resolve_failure_model(failure_model)
     stats = metrics if metrics is not None else NetworkMetrics()
-    sampler = resolve_peer_sampler(topology, sampling=peer_sampling, n=protocol.n)
+    if topology_process is not None:
+        if topology is not None:
+            raise ConfigurationError(
+                "pass either topology or topology_process, not both"
+            )
+        if peer_sampling != "uniform":
+            raise ConfigurationError(
+                "peer_sampling is owned by the topology process; construct "
+                "the process with the desired strategy instead"
+            )
+        resolve_topology_process(topology_process, protocol.n)
+        sampler = None
+    else:
+        sampler = resolve_peer_sampler(topology, sampling=peer_sampling, n=protocol.n)
     protocol.begin()
     return source, failures, stats, sampler
 
@@ -137,11 +152,24 @@ def _begin_round(
     source: RandomSource,
     failures: FailureModel,
     stats: NetworkMetrics,
-    sampler: PeerSampler,
+    sampler: Optional[PeerSampler],
+    process: Optional[TopologyProcess] = None,
 ) -> Tuple[RoundRecord, np.ndarray, np.ndarray]:
-    """Shared per-round prologue: accounting, failure mask, partner draw."""
+    """Shared per-round prologue: accounting, failure mask, partner draw.
+
+    Without a topology process this is byte-for-byte the static path.  With
+    one, the per-round sampler and active mask come from the process (whose
+    evolution runs on its own private stream), departed nodes are folded
+    into the failure mask — they neither act nor, because process samplers
+    only return active targets, receive — and the partner draw still
+    consumes the engine's stream, keeping loop and vectorized runs aligned.
+    """
     record = stats.begin_round(label=protocol.name)
     failed = failures.failure_mask(round_index, n, source)
+    if process is not None:
+        state = process.round_state(round_index)
+        failed = failed | ~state.active
+        sampler = state.sampler
     stats.record_failures(int(failed.sum()), record)
     partners = sampler.draw_round(source)
     return record, failed, partners
@@ -156,6 +184,7 @@ def run_protocol_loop(
     raise_on_budget: bool = True,
     topology: Optional[Topology] = None,
     peer_sampling: str = "uniform",
+    topology_process: Optional[TopologyProcess] = None,
 ) -> EngineResult:
     """Run ``protocol`` on the per-node reference engine.
 
@@ -179,17 +208,25 @@ def run_protocol_loop(
     peer_sampling:
         Partner strategy on a sparse topology: ``"uniform"`` over neighbors
         or ``"round-robin"`` (shuffled cyclic neighbor schedule).
+    topology_process:
+        Optional :class:`~repro.topology.dynamic.TopologyProcess` making the
+        graph a per-round object (churn, edge resampling).  Mutually
+        exclusive with ``topology``.  Nodes outside the process's per-round
+        active mask neither act nor receive; their state freezes, so
+        conserved aggregates (push-sum mass/weight) are preserved.
     """
     n = protocol.n
     source, failures, stats, sampler = _begin_run(
-        protocol, rng, failure_model, metrics, topology, peer_sampling
+        protocol, rng, failure_model, metrics, topology, peer_sampling,
+        topology_process,
     )
 
     round_index = 0
     completed = protocol.is_done(round_index)
     while not completed and round_index < max_rounds:
         record, failed, partners = _begin_round(
-            protocol, round_index, n, source, failures, stats, sampler
+            protocol, round_index, n, source, failures, stats, sampler,
+            topology_process,
         )
 
         actions: List[Optional[Action]] = [None] * n
@@ -240,6 +277,7 @@ def run_protocol_vectorized(
     raise_on_budget: bool = True,
     topology: Optional[Topology] = None,
     peer_sampling: str = "uniform",
+    topology_process: Optional[TopologyProcess] = None,
 ) -> EngineResult:
     """Run a batch-capable protocol one whole round per numpy operation.
 
@@ -254,14 +292,16 @@ def run_protocol_vectorized(
         )
     n = protocol.n
     source, failures, stats, sampler = _begin_run(
-        protocol, rng, failure_model, metrics, topology, peer_sampling
+        protocol, rng, failure_model, metrics, topology, peer_sampling,
+        topology_process,
     )
 
     round_index = 0
     completed = protocol.is_done(round_index)
     while not completed and round_index < max_rounds:
         record, failed, partners = _begin_round(
-            protocol, round_index, n, source, failures, stats, sampler
+            protocol, round_index, n, source, failures, stats, sampler,
+            topology_process,
         )
         alive = ~failed
 
@@ -314,6 +354,7 @@ def run_protocol(
     engine: Optional[str] = None,
     topology: Optional[Topology] = None,
     peer_sampling: str = "uniform",
+    topology_process: Optional[TopologyProcess] = None,
 ) -> EngineResult:
     """Run ``protocol`` until it reports completion.
 
@@ -341,4 +382,5 @@ def run_protocol(
         raise_on_budget=raise_on_budget,
         topology=topology,
         peer_sampling=peer_sampling,
+        topology_process=topology_process,
     )

@@ -116,7 +116,16 @@ class PerNodeFailures(FailureModel):
                 )
         if probs.shape != (n,):
             raise ConfigurationError("probability schedule produced wrong shape")
-        if np.any(probs < 0) or np.any(probs > self.mu + 1e-12):
+        # Validate the [0, 1) range explicitly (no clamping): a schedule
+        # producing probs >= 1 is invalid regardless of mu, and must not be
+        # reported as a mere mu-bound violation.
+        if np.any(probs < 0) or np.any(probs >= 1):
+            bad = float(probs[(probs < 0) | (probs >= 1)][0])
+            raise ConfigurationError(
+                f"probability schedule produced {bad} at round {round_index}; "
+                "failure probabilities must lie in [0, 1)"
+            )
+        if np.any(probs > self.mu + 1e-12):
             raise ConfigurationError(
                 "probability schedule exceeded its declared bound mu"
             )
@@ -128,6 +137,98 @@ class PerNodeFailures(FailureModel):
 
     def __repr__(self) -> str:
         return f"PerNodeFailures(mu={self.mu})"
+
+
+#: Modes accepted by :class:`TopologyFailures`.
+TOPOLOGY_FAILURE_MODES = ("degree", "inverse-degree")
+
+
+class TopologyFailures(PerNodeFailures):
+    """Position-correlated failures: probabilities derived from the graph.
+
+    Bridges the failure and topology subsystems: each node's per-round
+    failure probability is a function of its degree (its "position" in the
+    graph), scaled so the most failure-prone node fails with probability
+    ``mu``.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`~repro.topology.graphs.Topology` (anything exposing a
+        ``degrees`` array) or the degree array itself.
+    mu:
+        The maximum per-node failure probability (must be in ``[0, 1)``).
+    mode:
+        ``"degree"`` — hubs fail more (``p_v ∝ deg(v)``, the "attack the
+        well-connected" scenario); ``"inverse-degree"`` — poorly connected
+        nodes fail more (``p_v ∝ 1/deg(v)``, flaky edge devices).
+    """
+
+    def __init__(self, topology, mu: float = 0.2, mode: str = "degree") -> None:
+        if mode not in TOPOLOGY_FAILURE_MODES:
+            raise ConfigurationError(
+                f"unknown topology-failure mode {mode!r}; choose from "
+                f"{TOPOLOGY_FAILURE_MODES}"
+            )
+        if not 0.0 <= mu < 1.0:
+            raise ConfigurationError(f"mu must be in [0, 1), got {mu}")
+        degrees = np.asarray(getattr(topology, "degrees", topology), dtype=float)
+        if degrees.ndim != 1 or degrees.size < 2:
+            raise ConfigurationError("degrees must be a 1-d array of length >= 2")
+        if np.any(degrees < 1):
+            raise ConfigurationError(
+                "topology failures need every node to have degree >= 1"
+            )
+        if mode == "degree":
+            weights = degrees / degrees.max()
+        else:
+            weights = degrees.min() / degrees
+        super().__init__(mu * weights, mu=mu)
+        self.mode = mode
+
+    def __repr__(self) -> str:
+        return f"TopologyFailures(mu={self.mu}, mode={self.mode!r})"
+
+
+class TopologyProcessFailures(FailureModel):
+    """A :class:`~repro.topology.dynamic.TopologyProcess` as a failure model.
+
+    Marks every node outside the process's active mask as failed, which lets
+    surfaces that understand failures but not topology processes — notably
+    the token engines of :mod:`repro.core.tokens`, whose Section-5 merge
+    machinery keeps a failed pusher's token in place — run under churn while
+    conserving aggregate mass.  The process evolves one round per
+    ``failure_mask`` call (callers invoke it exactly once per round with
+    increasing indices) and is restarted — replaying the same seeded
+    schedule — whenever the round index stops increasing, i.e. when the
+    model is reused for a fresh run.
+
+    ``mu`` reports the process's per-round departure rate when it has one.
+    """
+
+    def __init__(self, process) -> None:
+        self._process = process
+        self._rounds_generated = 0
+        self._last_round: Optional[int] = None
+        self.mu = float(getattr(process, "churn_rate", 0.0))
+
+    def failure_mask(self, round_index: int, n: int, rng: RandomSource) -> np.ndarray:
+        if n != self._process.n:
+            raise ConfigurationError(
+                f"topology process has {self._process.n} nodes, round has {n}"
+            )
+        if self._last_round is None or round_index <= self._last_round:
+            # First use, or a new run restarting its round counter: replay
+            # the schedule from round 0 like every other begin().
+            self._process.begin()
+            self._rounds_generated = 0
+        self._last_round = round_index
+        state = self._process.round_state(self._rounds_generated)
+        self._rounds_generated += 1
+        return ~state.active
+
+    def __repr__(self) -> str:
+        return f"TopologyProcessFailures({self._process.name})"
 
 
 def resolve_failure_model(model: Union[None, float, FailureModel]) -> FailureModel:

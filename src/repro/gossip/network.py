@@ -18,6 +18,7 @@ from repro.exceptions import ConfigurationError
 from repro.gossip.failures import FailureModel, NoFailures, resolve_failure_model
 from repro.gossip.messages import tournament_message_bits
 from repro.gossip.metrics import NetworkMetrics
+from repro.topology.dynamic import TopologyProcess, resolve_topology_process
 from repro.topology.graphs import Topology
 from repro.topology.sampler import resolve_peer_sampler
 from repro.utils.rand import RandomSource
@@ -84,6 +85,12 @@ class GossipNetwork:
     peer_sampling:
         Partner strategy on a sparse topology: ``"uniform"`` over neighbors
         or ``"round-robin"`` (shuffled cyclic neighbor schedule).
+    topology_process:
+        Optional :class:`~repro.topology.dynamic.TopologyProcess` making the
+        graph a per-round object (churn, newscast-style edge resampling).
+        Mutually exclusive with ``topology``.  With a process attached each
+        pull column draws its partners from that round's sampler (active
+        targets only) and departed nodes have ``ok = False`` for the round.
     """
 
     def __init__(
@@ -96,6 +103,7 @@ class GossipNetwork:
         keep_history: bool = True,
         topology: Optional[Topology] = None,
         peer_sampling: str = "uniform",
+        topology_process: Optional[TopologyProcess] = None,
     ) -> None:
         array = np.asarray(values, dtype=float).copy()
         if array.ndim != 1:
@@ -109,7 +117,26 @@ class GossipNetwork:
         self._failures = resolve_failure_model(failure_model)
         self._allow_self = bool(allow_self_contact)
         self._topology = topology
-        self._sampler = resolve_peer_sampler(
+        if topology_process is not None:
+            if topology is not None:
+                raise ConfigurationError(
+                    "pass either topology or topology_process, not both"
+                )
+            # Mirror the engine path: the process owns partner selection,
+            # so overrides that could not take effect are errors rather
+            # than silent no-ops.
+            if peer_sampling != "uniform":
+                raise ConfigurationError(
+                    "peer_sampling is owned by the topology process; "
+                    "construct the process with the desired strategy instead"
+                )
+            if self._allow_self:
+                raise ConfigurationError(
+                    "allow_self_contact has no effect under a topology "
+                    "process; its samplers always exclude self-contacts"
+                )
+        self._process = resolve_topology_process(topology_process, self._n)
+        self._sampler = None if self._process is not None else resolve_peer_sampler(
             topology,
             sampling=peer_sampling,
             n=self._n,
@@ -166,11 +193,18 @@ class GossipNetwork:
         """Restore the initial values and clear accumulated metrics."""
         self._values = self._initial_values.copy()
         self.metrics = NetworkMetrics(keep_history=self.metrics.keep_history)
+        if self._process is not None:
+            self._process.begin()
 
     @property
     def topology(self):
         """The attached topology, or ``None`` for uniform/complete gossip."""
         return self._topology
+
+    @property
+    def topology_process(self):
+        """The attached topology process, or ``None`` for a static graph."""
+        return self._process
 
     # -- partner selection --------------------------------------------------------
     def _sample_partners(self, k: int) -> np.ndarray:
@@ -200,6 +234,8 @@ class GossipNetwork:
             raise ConfigurationError("values override must have length n")
         bits = self._message_bits if payload_bits is None else int(payload_bits)
 
+        if self._process is not None:
+            return self._pull_dynamic(k, label, bits, source)
         partners = self._sample_partners(k)
         pulled = source[partners]
         ok = np.ones((self._n, k), dtype=bool)
@@ -213,6 +249,36 @@ class GossipNetwork:
             successes = int((~failed).sum())
             self.metrics.record_messages(successes, bits, record)
         pulled = np.where(ok, pulled, np.nan)
+        return PullBatch(partners=partners, values=pulled, ok=ok)
+
+    def _pull_dynamic(
+        self, k: int, label: str, bits: int, source: np.ndarray
+    ) -> PullBatch:
+        """Pull rounds under a topology process: per-column partner draws.
+
+        Each column asks the process for that round's state first, so the
+        partner matrix reflects the evolving graph; departed pullers get
+        ``ok = False`` exactly like failed ones.  Values are still read from
+        the start-of-batch snapshot (the paper's within-iteration
+        semantics).  The process round counter is the network's global
+        round count, so interleaved pull batches see one consistent
+        schedule.
+        """
+        partners = np.empty((self._n, k), dtype=np.int64)
+        ok = np.ones((self._n, k), dtype=bool)
+        for column in range(k):
+            record = self.metrics.begin_round(label=label)
+            state = self._process.round_state(self.metrics.rounds - 1)
+            partners[:, column] = state.sampler.draw_round(self._rng)
+            failed = self._failures.failure_mask(
+                self.metrics.rounds - 1, self._n, self._rng
+            )
+            failed = failed | ~state.active
+            ok[:, column] = ~failed
+            self.metrics.record_failures(int(failed.sum()), record)
+            successes = int((~failed).sum())
+            self.metrics.record_messages(successes, bits, record)
+        pulled = np.where(ok, source[partners], np.nan)
         return PullBatch(partners=partners, values=pulled, ok=ok)
 
     def pull_values(self, k: int = 1, label: str = "pull") -> np.ndarray:

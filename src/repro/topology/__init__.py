@@ -2,14 +2,17 @@
 
 Gossip on arbitrary graphs: compact CSR topologies
 (:mod:`repro.topology.graphs`), vectorized per-round partner sampling
-(:mod:`repro.topology.sampler`) consumed by both execution engines, and
-structural diagnostics (:mod:`repro.topology.diagnostics`).  The default
-configuration (``topology=None`` — uniform gossip on the complete graph)
-is bit-identical to the pre-topology library.
+(:mod:`repro.topology.sampler`) consumed by both execution engines,
+dynamic per-round topologies — churn and newscast-style edge resampling
+(:mod:`repro.topology.dynamic`) — and structural diagnostics
+(:mod:`repro.topology.diagnostics`).  The default configuration
+(``topology=None`` — uniform gossip on the complete graph) is
+bit-identical to the pre-topology library.
 """
 
 from repro.topology.graphs import (
     TOPOLOGY_CHOICES,
+    TOPOLOGY_PARAM_USERS,
     Topology,
     build_topology,
     complete,
@@ -18,7 +21,16 @@ from repro.topology.graphs import (
     random_regular,
     ring,
     torus,
+    validate_topology_flags,
     watts_strogatz,
+)
+from repro.topology.dynamic import (
+    ChurnProcess,
+    EdgeResamplingProcess,
+    RoundState,
+    StaticProcess,
+    TopologyProcess,
+    resolve_topology_process,
 )
 from repro.topology.sampler import (
     PEER_SAMPLING_CHOICES,
@@ -38,6 +50,14 @@ from repro.topology.diagnostics import (
 
 __all__ = [
     "TOPOLOGY_CHOICES",
+    "TOPOLOGY_PARAM_USERS",
+    "validate_topology_flags",
+    "ChurnProcess",
+    "EdgeResamplingProcess",
+    "RoundState",
+    "StaticProcess",
+    "TopologyProcess",
+    "resolve_topology_process",
     "Topology",
     "build_topology",
     "complete",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -392,6 +392,50 @@ def preferential_attachment(
     return _csr_from_edges(
         "pref-attach", n, np.concatenate(us), np.concatenate(vs), {"m": m}
     )
+
+
+#: Which topology families consume each optional hyper-parameter (the
+#: vocabulary of :func:`build_topology` / the CLI flags).
+TOPOLOGY_PARAM_USERS = {
+    "degree": ("ring", "regular", "erdos-renyi", "small-world", "pref-attach"),
+    "rewire_p": ("small-world",),
+}
+
+
+def validate_topology_flags(
+    topologies: Optional[Sequence[str]],
+    degree: Optional[int] = None,
+    rewire_p: Optional[float] = None,
+    require_topology: bool = False,
+) -> None:
+    """Reject topology hyper-parameters that would be silently ignored.
+
+    ``build_topology`` tolerantly ignores parameters a family does not use,
+    which is right for programmatic sweeps but wrong for the CLI: a user
+    passing ``--topology ring --rewire-p 0.2`` deserves an error, not a run
+    that quietly dropped the flag.  Raises :class:`ConfigurationError`
+    naming the mismatched flag when a given parameter is used by *none* of
+    the named topologies, or (with ``require_topology``) when parameters
+    are given without any topology at all.
+    """
+    given = {"--degree": ("degree", degree), "--rewire-p": ("rewire_p", rewire_p)}
+    for flag, (param, value) in given.items():
+        if value is None:
+            continue
+        if not topologies:
+            if require_topology:
+                raise ConfigurationError(
+                    f"{flag} was given without --topology; on the complete "
+                    "graph it has no effect"
+                )
+            continue
+        users = TOPOLOGY_PARAM_USERS[param]
+        if not any(name in users for name in topologies):
+            listed = ", ".join(topologies)
+            raise ConfigurationError(
+                f"{flag} has no effect on topology {listed}; it applies to "
+                f"{', '.join(users)}"
+            )
 
 
 def build_topology(

@@ -88,6 +88,17 @@ class RandomSource:
         """The underlying numpy generator."""
         return self._generator
 
+    @property
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The seed sequence this source was built from.
+
+        Re-creating a :class:`RandomSource` from this sequence replays the
+        stream from its start — which is how stateful components (e.g.
+        :class:`repro.topology.dynamic.TopologyProcess`) reproduce the same
+        schedule across repeated runs.
+        """
+        return self._seq
+
     def spawn(self, count: int) -> List["RandomSource"]:
         """Return ``count`` independent child sources."""
         if count < 0:

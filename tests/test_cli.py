@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cli import main
+from repro.exceptions import ConfigurationError
 
 
 def test_no_command_prints_help_and_fails(capsys):
@@ -83,3 +84,80 @@ def test_query_exact_rejects_topology(tmp_path):
 def test_unknown_command_errors():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_churn_experiment_command(capsys):
+    assert main([
+        "churn", "--sizes", "128", "--trials", "1", "--seed", "5",
+        "--topology", "complete", "--churn-rate", "0.1",
+        "--resample-every", "4", "--engine", "vectorized",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "churn_rate" in out
+    assert "newscast" in out
+    assert "mass_rel_error" in out
+
+
+def test_churn_experiment_with_topology_failures(capsys):
+    assert main([
+        "churn", "--sizes", "128", "--trials", "1", "--seed", "5",
+        "--topology", "small-world", "--churn-rate", "0.05",
+        "--failures", "topology",
+    ]) == 0
+    assert "topology" in capsys.readouterr().out
+
+
+# ---- rejection of silently-ignored topology hyper-parameters ----------------
+
+
+def test_experiment_rejects_rewire_p_on_non_small_world():
+    with pytest.raises(ConfigurationError, match="--rewire-p"):
+        main([
+            "topology", "--sizes", "128", "--trials", "1",
+            "--topology", "ring", "--rewire-p", "0.2",
+        ])
+
+
+def test_experiment_rejects_degree_on_fixed_structure_topologies():
+    with pytest.raises(ConfigurationError, match="--degree"):
+        main([
+            "topology", "--sizes", "128", "--trials", "1",
+            "--topology", "complete", "--degree", "8",
+        ])
+
+
+def test_experiment_accepts_flag_used_by_any_listed_topology(capsys):
+    # complete ignores degree but regular uses it: a mixed list is fine
+    assert main([
+        "topology", "--sizes", "128", "--trials", "1", "--seed", "5",
+        "--topology", "complete", "regular", "--degree", "6",
+    ]) == 0
+
+
+def test_query_rejects_degree_without_topology(tmp_path):
+    values = np.arange(1.0, 257.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    with pytest.raises(ConfigurationError, match="--degree"):
+        main(["query", "--input", str(path), "--phi", "0.5", "--eps", "0.1",
+              "--degree", "8"])
+
+
+def test_query_rejects_rewire_p_on_mismatched_topology(tmp_path):
+    values = np.arange(1.0, 257.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    with pytest.raises(ConfigurationError, match="--rewire-p"):
+        main(["query", "--input", str(path), "--phi", "0.5", "--eps", "0.1",
+              "--topology", "ring", "--rewire-p", "0.2"])
+
+
+def test_churn_accepts_degree_with_any_topology(capsys):
+    # --degree doubles as the newscast view size in the churn experiment,
+    # so it is meaningful even when the base family ignores it
+    assert main([
+        "churn", "--sizes", "64", "--trials", "1", "--seed", "2",
+        "--topology", "complete", "--degree", "4",
+        "--churn-rate", "0.1", "--resample-every", "2",
+    ]) == 0
+    assert "newscast" in capsys.readouterr().out

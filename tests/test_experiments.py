@@ -14,13 +14,14 @@ from repro.experiments import (
     schedule_validation,
     self_rank,
     token_distribution,
+    churn_sweep,
     topology_sweep,
 )
 from repro.experiments.runner import REGISTRY, run_experiment
 
 
 def test_registry_contains_all_experiments():
-    assert len(REGISTRY) == 12
+    assert len(REGISTRY) == 13
     for spec in REGISTRY.values():
         assert spec.columns
         assert spec.claim
@@ -230,3 +231,43 @@ def test_run_experiment_unknown_name_and_format():
         run_experiment("not-an-experiment")
     with pytest.raises(ConfigurationError):
         run_experiment("schedules", output="yaml", sizes=(256,))
+
+
+def test_churn_sweep_rows_structure_and_conservation():
+    rows = churn_sweep.run(
+        sizes=(128,),
+        topologies=("complete", "small-world"),
+        churn_rates=(0.0, 0.2),
+        resample_every=(2,),
+        max_rounds=120,
+        trials=1,
+        seed=6,
+    )
+    assert len(rows) == 5  # 2 topologies x 2 rates + 1 resample row
+    for row in rows:
+        assert set(churn_sweep.COLUMNS) <= set(row)
+        # mass conservation is exact on every dynamic configuration
+        assert row["mass_rel_error"] < 1e-9
+    by_key = {(r["process"], r["topology"], r["churn_rate"]): r for r in rows}
+    assert by_key[("churn", "complete", 0.0)]["active_fraction"] == 1.0
+    assert by_key[("churn", "complete", 0.2)]["active_fraction"] < 0.9
+    assert by_key[("resample", "newscast", 0.0)]["resample_every"] == 2
+
+
+def test_churn_sweep_rows_identical_for_any_worker_count():
+    kwargs = dict(
+        sizes=(96,), topologies=("complete",), churn_rates=(0.1,),
+        resample_every=(1,), max_rounds=80, trials=2, seed=9,
+    )
+    assert churn_sweep.run(workers=1, **kwargs) == churn_sweep.run(
+        workers=3, **kwargs
+    )
+
+
+def test_churn_sweep_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        churn_sweep.run(sizes=(64,), churn_rates=(1.2,), trials=1)
+    with pytest.raises(ConfigurationError):
+        churn_sweep.run(sizes=(64,), resample_every=(0,), trials=1)
+    with pytest.raises(ConfigurationError):
+        churn_sweep.run(sizes=(64,), failures="cosmic-rays", trials=1)

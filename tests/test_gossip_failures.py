@@ -7,6 +7,8 @@ from repro.exceptions import ConfigurationError
 from repro.gossip.failures import (
     NoFailures,
     PerNodeFailures,
+    TopologyFailures,
+    TopologyProcessFailures,
     UniformFailures,
     resolve_failure_model,
 )
@@ -101,3 +103,118 @@ def test_resolve_failure_model():
     assert resolve_failure_model(model) is model
     with pytest.raises(ConfigurationError):
         resolve_failure_model("half")
+
+
+# ---- callable-schedule range validation (regression) ------------------------
+
+
+def test_per_node_callable_out_of_range_names_the_range():
+    """A callable returning probs >= 1 must fail with the range error, not a
+    misleading mu-bound message — regardless of how large mu is."""
+    model = PerNodeFailures(lambda r, n: np.full(n, 1.5), mu=0.9)
+    with pytest.raises(ConfigurationError, match=r"\[0, 1\)"):
+        model.failure_mask(0, 10, RandomSource(1))
+
+
+def test_per_node_callable_prob_of_exactly_one_rejected():
+    model = PerNodeFailures(lambda r, n: np.full(n, 1.0), mu=0.5)
+    with pytest.raises(ConfigurationError, match=r"\[0, 1\)"):
+        model.failure_mask(0, 10, RandomSource(1))
+
+
+def test_per_node_callable_negative_prob_rejected():
+    model = PerNodeFailures(lambda r, n: np.full(n, -0.1), mu=0.5)
+    with pytest.raises(ConfigurationError, match=r"\[0, 1\)"):
+        model.failure_mask(0, 10, RandomSource(1))
+
+
+def test_per_node_callable_within_mu_still_works():
+    model = PerNodeFailures(lambda r, n: np.full(n, 0.4), mu=0.5)
+    mask = model.failure_mask(0, 2000, RandomSource(3))
+    assert 500 < int(mask.sum()) < 1100
+
+
+# ---- position-correlated (topology) failures --------------------------------
+
+
+def _star_degrees(n):
+    degrees = np.ones(n, dtype=np.int64)
+    degrees[0] = n - 1
+    return degrees
+
+
+def test_topology_failures_degree_mode_hits_hubs_hardest():
+    n = 2000
+    model = TopologyFailures(_star_degrees(n), mu=0.5, mode="degree")
+    counts = np.zeros(n)
+    rng = RandomSource(7)
+    for r in range(200):
+        counts += model.failure_mask(r, n, rng)
+    # hub fails at rate mu, leaves at mu/(n-1)
+    assert counts[0] > 50
+    assert counts[1:].mean() < 1.0
+
+
+def test_topology_failures_inverse_mode_hits_leaves_hardest():
+    n = 2000
+    model = TopologyFailures(_star_degrees(n), mu=0.5, mode="inverse-degree")
+    counts = np.zeros(n)
+    rng = RandomSource(7)
+    for r in range(200):
+        counts += model.failure_mask(r, n, rng)
+    assert counts[0] < 5
+    assert counts[1:].mean() > 50
+
+
+def test_topology_failures_accepts_topology_objects():
+    from repro.topology import ring
+
+    model = TopologyFailures(ring(64, k=2), mu=0.3)
+    # ring is regular: every node at the full rate mu
+    assert np.allclose(model._probabilities(0, 64), 0.3)
+
+
+def test_topology_failures_validation():
+    with pytest.raises(ConfigurationError):
+        TopologyFailures(_star_degrees(16), mu=0.2, mode="random")
+    with pytest.raises(ConfigurationError):
+        TopologyFailures(_star_degrees(16), mu=1.0)
+    with pytest.raises(ConfigurationError):
+        TopologyFailures(np.zeros(16), mu=0.2)  # isolated nodes
+
+
+# ---- churn schedules viewed as failure models --------------------------------
+
+
+def test_topology_process_failures_replays_the_churn_schedule():
+    from repro.topology import ChurnProcess
+
+    process = ChurnProcess(n=64, churn_rate=0.3, rng=5)
+    model = TopologyProcessFailures(process)
+    masks = [model.failure_mask(r, 64, RandomSource(0)).copy() for r in range(20)]
+
+    reference = ChurnProcess(n=64, churn_rate=0.3, rng=5)
+    reference.begin()
+    expected = [~reference.round_state(r).active for r in range(20)]
+    assert all((a == b).all() for a, b in zip(masks, expected))
+
+
+def test_topology_process_failures_rejects_wrong_n():
+    from repro.topology import ChurnProcess
+
+    model = TopologyProcessFailures(ChurnProcess(n=64, churn_rate=0.1, rng=1))
+    with pytest.raises(ConfigurationError):
+        model.failure_mask(0, 65, RandomSource(0))
+
+
+def test_topology_process_failures_replays_on_model_reuse():
+    """A second run restarting its round counter must replay the schedule,
+    not continue it — seeded token-engine results stay reproducible when
+    the same model object is reused."""
+    from repro.topology import ChurnProcess
+
+    model = TopologyProcessFailures(ChurnProcess(n=64, churn_rate=0.3, rng=5))
+    rng = RandomSource(0)
+    first = [model.failure_mask(r, 64, rng).copy() for r in range(5)]
+    second = [model.failure_mask(r, 64, rng).copy() for r in range(5)]
+    assert all((a == b).all() for a, b in zip(first, second))

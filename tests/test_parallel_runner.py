@@ -153,3 +153,85 @@ def test_run_trials_shared_empty_mapping_matches_plain_path():
     plain = run_trials(_draw_task, 5, seed=8, workers=2)
     with_empty = run_trials(_draw_task, 5, seed=8, workers=2, shared={})
     assert plain == with_empty
+
+
+def _crashing_shared_task(trial_index, rng, values=None):
+    """Module-level so the process pool can pickle it."""
+    if trial_index == 1:
+        raise RuntimeError("shared boom")
+    return float(values[trial_index])
+
+
+def _dying_shared_task(trial_index, rng, values=None):
+    import os
+
+    os._exit(3)  # hard worker death -> BrokenProcessPool in the parent
+
+
+def test_run_trials_failing_worker_does_not_leak_segments(monkeypatch):
+    """Segments must be registered for cleanup at creation time, so a task
+    exception (or any failure after creation) cannot leak /dev/shm."""
+    from multiprocessing import shared_memory
+
+    from repro.experiments import runner as runner_module
+
+    created = []
+    real = shared_memory.SharedMemory
+
+    class Recording(real):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(self.name)
+
+    monkeypatch.setattr(runner_module.shared_memory, "SharedMemory", Recording)
+    values = np.arange(8.0)
+    with pytest.raises(RuntimeError, match="shared boom"):
+        run_trials(
+            _crashing_shared_task, 4, seed=0, workers=2,
+            shared={"values": values},
+        )
+    assert created
+    for name in created:
+        with pytest.raises(FileNotFoundError):
+            real(name=name)  # unlinked: re-attach must fail
+    assert not runner_module._PARENT_SEGMENTS
+
+
+def test_run_trials_dead_worker_does_not_leak_segments(monkeypatch):
+    from concurrent.futures.process import BrokenProcessPool
+    from multiprocessing import shared_memory
+
+    from repro.experiments import runner as runner_module
+
+    created = []
+    real = shared_memory.SharedMemory
+
+    class Recording(real):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(self.name)
+
+    monkeypatch.setattr(runner_module.shared_memory, "SharedMemory", Recording)
+    with pytest.raises(BrokenProcessPool):
+        run_trials(
+            _dying_shared_task, 2, seed=0, workers=2,
+            shared={"values": np.arange(4.0)},
+        )
+    assert created
+    for name in created:
+        with pytest.raises(FileNotFoundError):
+            real(name=name)
+    assert not runner_module._PARENT_SEGMENTS
+
+
+def test_parent_segment_registry_survives_double_release():
+    from repro.experiments.runner import _PARENT_SEGMENTS, _release_segment
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(create=True, size=8)
+    _PARENT_SEGMENTS[segment.name] = segment
+    _release_segment(segment)
+    assert segment.name not in _PARENT_SEGMENTS
+    _release_segment(segment)  # idempotent: already unlinked
