@@ -2,12 +2,15 @@
 
 Times :func:`repro.core.exact_quantile.exact_quantile` with
 ``fidelity="simulated"`` — every sub-protocol (tournaments, extrema,
-counting, token duplication) executed on the vectorized substrates — and
-emits a machine-readable ``BENCH_exact.json`` (n, fidelity, rounds, wall
-time, exactness) so the repo carries a perf trajectory across PRs.  The
-headline number: a simulated exact query at n = 10⁵ completes in seconds
-single-threaded (the pre-vectorization driver was gated by the loop-only
-token step).  Usable standalone::
+counting, token duplication) executed on the vectorized substrates, the
+Step-3 sandwich and Step-4 min/max spreadings fused into multi-lane runs —
+and emits a machine-readable ``BENCH_exact.json`` (n, fidelity, rounds,
+wall time, exactness) so the repo carries a perf trajectory across PRs.
+float64 rows keep the historical row schema (so ``bench_trend.py`` keeps
+matching them against older commits); float32 rows carry the ``dtype`` and
+``f32_parity`` columns of the ``exact-scale`` experiment.  The headline
+numbers: the fused float64 path is ≥ 2x the pre-fusion wall clock at
+n = 10⁵, and n = 10⁶ completes single-threaded.  Usable standalone::
 
     PYTHONPATH=src python benchmarks/bench_exact_quantile.py --sizes 10000 100000
 
@@ -32,15 +35,23 @@ DEFAULT_JSON = Path(__file__).resolve().parent / "BENCH_exact.json"
 
 
 def run_benchmark(sizes, phi: float = 0.5, fidelity: str = "simulated", seed: int = 1):
-    """One row per n: wall time, rounds and exactness of one simulated query.
+    """Two rows per n (float64 + float32): wall time, rounds, exactness.
 
     Delegates the measurement to the ``exact-scale`` experiment (one trial
     per n) so the benchmark and the experiment cannot drift apart; this
-    script only owns the JSON/assertion layer.
+    script only owns the JSON/assertion layer.  float64 rows are stripped
+    to the historical schema so the trend gate keeps matching them against
+    pre-dtype commits.
     """
-    return run_exact_scale(
+    rows = run_exact_scale(
         sizes=tuple(sizes), phis=(phi,), trials=1, seed=seed, fidelity=fidelity
     )
+    legacy_only = ("dtype", "rank_error", "f32_parity")
+    return [
+        {k: v for k, v in row.items() if k not in legacy_only}
+        if row.get("dtype") == "float64" else row
+        for row in rows
+    ]
 
 
 def write_json(rows, path: Path, smoke: bool) -> None:
@@ -100,12 +111,16 @@ def main(argv=None) -> int:
     for row in rows:
         assert row["correct"] == 1, f"exact quantile missed at n={row['n']}"
     write_json(rows, args.json, smoke=False)
-    header = f"{'n':>9}  {'fidelity':<10}  {'wall':>9}  {'rounds':>7}  {'correct':>7}"
+    header = (
+        f"{'n':>9}  {'fidelity':<10}  {'dtype':<8}  {'wall':>9}  "
+        f"{'rounds':>7}  {'correct':>7}"
+    )
     print(header)
     print("-" * len(header))
     for row in rows:
         print(
-            f"{row['n']:>9}  {row['fidelity']:<10}  {row['wall_s']:>8.2f}s  "
+            f"{row['n']:>9}  {row['fidelity']:<10}  "
+            f"{row.get('dtype', 'float64'):<8}  {row['wall_s']:>8.2f}s  "
             f"{row['rounds']:>7.0f}  {row['correct']:>7.0f}"
         )
     return 0

@@ -49,7 +49,16 @@ HIGHER_IS_BETTER_PREFIXES = ("speedup",)
 #: Wall-clock metrics are machine-dependent; gated only with --include-wall.
 WALL_CLOCK = ("wall_s",)
 #: Numeric keys that are neither identity nor gated metrics.
-IGNORED = ("mass_rel_error",)
+#: ``rounds_per_logn`` duplicates the gated ``rounds`` metric and would
+#: otherwise act as an identity key, breaking row matching whenever the
+#: round count legitimately moves.
+IGNORED = (
+    "mass_rel_error",
+    "rank_error",
+    "max_rank_error",
+    "f32_parity",
+    "rounds_per_logn",
+)
 
 
 def _metric_direction(key: str) -> Optional[str]:

@@ -95,6 +95,8 @@ class PushSumProtocol(BatchGossipProtocol, GossipProtocol):
         if tolerance is not None and tolerance <= 0:
             raise ConfigurationError("tolerance must be positive")
         self._tolerance = tolerance
+        self._s_scratch: Optional[np.ndarray] = None
+        self._w_scratch: Optional[np.ndarray] = None
 
     # -- protocol interface -----------------------------------------------------
     def act(self, node: int, round_index: int) -> Action:
@@ -114,17 +116,35 @@ class PushSumProtocol(BatchGossipProtocol, GossipProtocol):
 
     # -- batch (vectorized-engine) interface --------------------------------------
     def act_batch(self, round_index: int, alive: np.ndarray) -> BatchAction:
-        s_half = self._s[alive] / 2.0
-        w_half = self._w[alive] / 2.0
-        self._s[alive] = s_half
-        self._w[alive] = w_half
+        if alive.all():
+            # Failure-free fast path: in-place whole-array halving instead
+            # of the boolean gathers/scatters (same values — the payload is
+            # a private per-protocol scratch buffer, reused across rounds
+            # to spare one large allocation per round, that later scatters
+            # cannot alias).
+            if self._s_scratch is None:
+                self._s_scratch = np.empty_like(self._s)
+                self._w_scratch = np.empty_like(self._w)
+            self._s *= 0.5
+            self._w *= 0.5
+            np.copyto(self._s_scratch, self._s)
+            np.copyto(self._w_scratch, self._w)
+            s_half = self._s_scratch
+            w_half = self._w_scratch
+        else:
+            s_half = self._s[alive] / 2.0
+            w_half = self._w[alive] / 2.0
+            self._s[alive] = s_half
+            self._w[alive] = w_half
         return BatchAction(
             "push", payload=(s_half, w_half), push_bits=self.message_bits(None)
         )
 
     def receive_batch(self, round_index, alive, partners, action) -> None:
         s_half, w_half = action.payload
-        targets = partners[alive]
+        # an all-alive payload pairs with the full partner array; slicing
+        # would only copy it
+        targets = partners if s_half.size == self.n else partners[alive]
         # ufunc.at accumulates in index order — the same order in which the
         # loop engine delivers — so repeated targets sum bit-identically.
         np.add.at(self._s, targets, s_half)
@@ -146,9 +166,11 @@ class PushSumProtocol(BatchGossipProtocol, GossipProtocol):
         scale = abs(float(estimates.mean()))
         return spread / max(scale, 1e-300)
 
+    def outputs_array(self) -> np.ndarray:
+        return np.where(self._w > 0, self._s / np.maximum(self._w, 1e-300), 0.0)
+
     def outputs(self) -> List[float]:
-        estimates = np.where(self._w > 0, self._s / np.maximum(self._w, 1e-300), 0.0)
-        return [float(e) for e in estimates]
+        return [float(e) for e in self.outputs_array()]
 
     def message_bits(self, payload) -> int:
         return BITS_HEADER + BITS_PER_VALUE + BITS_PER_WEIGHT + id_bits(self.n)
@@ -212,7 +234,7 @@ def push_sum_average(
         topology_process=topology_process,
     )
     return PushSumResult(
-        estimates=np.asarray(result.outputs, dtype=float),
+        estimates=result.outputs_array,
         rounds=result.rounds,
         metrics=result.metrics,
     )
@@ -248,7 +270,7 @@ def push_sum_sum(
         peer_sampling=peer_sampling,
     )
     return PushSumResult(
-        estimates=np.asarray(result.outputs, dtype=float),
+        estimates=result.outputs_array,
         rounds=result.rounds,
         metrics=result.metrics,
     )

@@ -11,17 +11,24 @@ The algorithm composes the two tournament phases:
 
 Total round complexity: ``O(log log n + log 1/eps)``, with every message a
 single value (O(log n) bits).
+
+Multi-lane runs: ``phi`` (and ``eps``) may be per-lane sequences on an
+``(n, L)`` value matrix — every lane computes its own quantile on one
+shared partner stream, each message carrying the ``L`` working values.
+This is how the exact-quantile driver executes the paper's Step-3 sandwich:
+both ε/2 approximations fused into a single two-lane run whose round count
+is max-of-lanes by construction.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.results import ApproxQuantileResult
 from repro.core.three_tournament import DEFAULT_FINAL_SAMPLES, run_three_tournament
-from repro.core.two_tournament import run_two_tournament
+from repro.core.two_tournament import per_lane, run_two_tournament
 from repro.exceptions import ConfigurationError
 from repro.gossip.failures import FailureModel
 from repro.gossip.metrics import NetworkMetrics
@@ -45,8 +52,8 @@ def min_supported_eps(n: int) -> float:
 
 def approximate_quantile(
     values: Union[np.ndarray, list, tuple, None] = None,
-    phi: float = 0.5,
-    eps: float = 0.1,
+    phi: Union[float, Sequence[float]] = 0.5,
+    eps: Union[float, Sequence[float]] = 0.1,
     rng: Union[None, int, RandomSource] = None,
     failure_model: Union[None, float, FailureModel] = None,
     final_samples: int = DEFAULT_FINAL_SAMPLES,
@@ -55,19 +62,22 @@ def approximate_quantile(
     metrics: Optional[NetworkMetrics] = None,
     topology=None,
     peer_sampling: str = "uniform",
+    dtype=None,
 ) -> ApproxQuantileResult:
     """Compute an ε-approximate φ-quantile with uniform gossip.
 
     Parameters
     ----------
     values:
-        One value per node.  Alternatively pass an existing ``network``.
+        One value per node, or an ``(n, L)`` matrix for a fused multi-lane
+        run.  Alternatively pass an existing ``network``.
     phi:
-        Target quantile in ``[0, 1]``.
+        Target quantile in ``[0, 1]`` — one per lane for multi-lane runs.
     eps:
-        Approximation parameter in ``(0, 1/2)``: the output's rank is within
-        ``[(phi - eps) n, (phi + eps) n]`` w.h.p. (for ``eps`` above roughly
-        ``n^{-0.096}``; see :func:`min_supported_eps`).
+        Approximation parameter in ``(0, 1/2)`` (scalar or per lane): the
+        output's rank is within ``[(phi - eps) n, (phi + eps) n]`` w.h.p.
+        (for ``eps`` above roughly ``n^{-0.096}``; see
+        :func:`min_supported_eps`).
     rng:
         Seed or :class:`RandomSource`.
     failure_model:
@@ -77,7 +87,8 @@ def approximate_quantile(
     final_samples:
         Size ``K`` of the final vote of Algorithm 2 (odd, O(1)).
     track_bands:
-        Record per-iteration band occupancies (slower; used by experiments).
+        Record per-iteration band occupancies (slower; single-lane runs
+        only, used by experiments).
     network / metrics:
         Advanced: run on an existing network (its value array is consumed)
         and/or accumulate rounds into an existing metrics object.
@@ -89,17 +100,17 @@ def approximate_quantile(
         exactly what ``experiments/topology_sweep.py`` measures.  Only
         valid when the network is constructed here (pass a configured
         ``network`` otherwise).
+    dtype:
+        Value dtype for the constructed network (float64 default, float32
+        opt-in); ignored when an existing ``network`` is passed.
 
     Returns
     -------
     ApproxQuantileResult
-        Per-node outputs, the representative estimate, and round accounting.
+        Per-node outputs, the representative estimate, and round
+        accounting.  Multi-lane runs return ``(n, L)`` estimates and one
+        representative estimate per lane.
     """
-    if not 0.0 <= phi <= 1.0:
-        raise ConfigurationError(f"phi must be in [0, 1], got {phi}")
-    if not 0.0 < eps < 0.5:
-        raise ConfigurationError(f"eps must be in (0, 0.5), got {eps}")
-
     if network is None:
         if values is None:
             raise ConfigurationError("either values or network must be given")
@@ -111,6 +122,7 @@ def approximate_quantile(
             keep_history=False,
             topology=topology,
             peer_sampling=peer_sampling,
+            dtype=dtype,
         )
     elif values is not None:
         raise ConfigurationError("pass either values or network, not both")
@@ -119,28 +131,42 @@ def approximate_quantile(
             "pass topology/peer_sampling to the GossipNetwork constructor "
             "when supplying an existing network"
         )
+    elif dtype is not None:
+        raise ConfigurationError(
+            "pass dtype to the GossipNetwork constructor when supplying "
+            "an existing network"
+        )
+
+    lanes = network.lanes
+    phis = per_lane(phi, lanes, "phi")
+    epss = per_lane(eps, lanes, "eps")
+    for lane_phi in phis:
+        if not 0.0 <= lane_phi <= 1.0:
+            raise ConfigurationError(f"phi must be in [0, 1], got {lane_phi}")
+    for lane_eps in epss:
+        if not 0.0 < lane_eps < 0.5:
+            raise ConfigurationError(f"eps must be in (0, 0.5), got {lane_eps}")
 
     rounds_before = network.metrics.rounds
 
-    phase1 = run_two_tournament(network, phi=phi, eps=eps, track_band=track_bands)
+    phase1 = run_two_tournament(
+        network, phi=phis, eps=epss, track_band=track_bands
+    )
     phase2 = run_three_tournament(
         network,
-        eps=eps / 4.0,
+        eps=[lane_eps / 4.0 for lane_eps in epss],
         final_samples=final_samples,
         track_band=track_bands,
     )
 
     estimates = phase2.final_values
-    finite = estimates[np.isfinite(estimates)]
-    estimate = float(np.median(finite)) if finite.size else float("nan")
     rounds = network.metrics.rounds - rounds_before
 
     return ApproxQuantileResult(
-        phi=phi,
-        eps=eps,
+        phi=phi if np.isscalar(phi) else tuple(phis),
+        eps=eps if np.isscalar(eps) else tuple(epss),
         n=network.n,
         estimates=estimates,
-        estimate=estimate,
         rounds=rounds,
         metrics=network.metrics,
         phase1=phase1,

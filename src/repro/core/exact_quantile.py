@@ -47,6 +47,21 @@ Implementation notes (documented deviations, see DESIGN.md §4):
   directly and charges their proven O(log n) round cost, which lets the
   benchmark harness sweep larger n.  The approximate-quantile computations
   (the paper's contribution) are always simulated.
+* **Fused sandwich pair.**  The paper's Step 3 computes the lower and upper
+  ε/2-approximate quantiles in the same O(log n)-round window — one
+  O(log n)-bit message carries both working values.  The driver *executes*
+  the pair that way (it used to run them sequentially and merely charge
+  max-of-pair rounds): both approximations run as the two lanes of one
+  multi-lane :class:`~repro.gossip.network.GossipNetwork`, sharing every
+  partner draw, so rounds = max(pair) by construction and each round's
+  message traffic lands in its own round record.  Step 4's min/max
+  spreadings are fused the same way
+  (:class:`~repro.aggregates.extrema.ExtremaPairProtocol`: one rumor
+  stream, messages carry both working values), and the idealized fidelity
+  charges the one shared window.  Seeded simulated runs therefore consume
+  a different random stream than the pre-fusion sequential pairs (same
+  documented-deviation class as the engine-stream changes below) and
+  strictly fewer rounds; the returned quantile is unchanged.
 * **Fast simulated path.**  Every simulated substrate is vectorized: the
   tournaments run on the batched :class:`~repro.gossip.network.GossipNetwork`
   pull surface, extrema/counting on the vectorized gossip engine, and token
@@ -56,33 +71,48 @@ Implementation notes (documented deviations, see DESIGN.md §4):
   targets in batches, a different random stream from the loop engine, so
   seeded simulated runs differ from (pre-PR-3) loop-engine runs in their
   token placements and round counts while all invariants and the returned
-  quantile are unchanged.  Simulated exact queries complete in seconds at
-  n = 10⁵ (see ``benchmarks/bench_exact_quantile.py`` and the
+  quantile are unchanged.  ``dtype="float32"`` runs the gossip key arrays
+  in single precision — keys are ranks ≤ n, exactly representable in
+  float32 below 2²⁴, so the computed quantile is identical while the hot
+  ``(n, k, L)`` pull gathers move half the memory.  Simulated exact
+  queries complete in seconds at n = 10⁵ and run single-threaded at
+  n = 10⁶ (see ``benchmarks/bench_exact_quantile.py`` and the
   ``exact-scale`` experiment preset).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 
 from repro.aggregates.counting import count_leq
-from repro.aggregates.extrema import spread_extrema
+from repro.aggregates.extrema import spread_extrema, spread_extrema_pair
 from repro.core.approx_quantile import approximate_quantile
 from repro.core.results import ExactIterationStats, ExactQuantileResult
 from repro.core.tokens import distribute_tokens
 from repro.exceptions import ConfigurationError, ConvergenceError
 from repro.gossip.failures import FailureModel, resolve_failure_model
 from repro.gossip.metrics import NetworkMetrics
-from repro.gossip.network import GossipNetwork
+from repro.gossip.network import GossipNetwork, resolve_value_dtype
 from repro.utils.mathutils import ceil_pow2
 from repro.utils.rand import RandomSource
 from repro.utils.stats import target_rank
 
 #: Default per-iteration approximation parameter (see module docstring).
 DEFAULT_ITERATION_EPS = 0.0625
+
+
+def _distinct_sorted(values: np.ndarray) -> int:
+    """Number of distinct entries of an ascending-sorted array.
+
+    ``key_values`` is sorted by construction, so counting the strict steps
+    replaces the per-iteration ``np.unique`` re-sort of up to n entries.
+    """
+    if values.size == 0:
+        return 0
+    return 1 + int(np.count_nonzero(np.diff(values)))
 
 
 def _charged_extrema_rounds(n: int) -> int:
@@ -114,6 +144,7 @@ def exact_quantile(
     max_iterations: int = 80,
     max_retries: int = 16,
     final_samples: int = 15,
+    dtype=None,
 ) -> ExactQuantileResult:
     """Compute the exact φ-quantile (the ``ceil(phi n)``-th smallest value).
 
@@ -133,6 +164,11 @@ def exact_quantile(
         substrate).
     max_iterations / max_retries:
         Safety budgets; exceeding them raises :class:`ConvergenceError`.
+    dtype:
+        Dtype of the gossip key arrays: float64 (default) or float32.
+        Keys are ranks ≤ n, exactly representable in float32 for
+        n < 2²⁴, so the answer is unchanged; the key→value table and the
+        returned quantile stay full precision.
 
     Returns
     -------
@@ -146,11 +182,17 @@ def exact_quantile(
         raise ConfigurationError(f"phi must be in [0, 1], got {phi}")
     if not 0.0 < eps_iteration < 0.5:
         raise ConfigurationError("eps_iteration must be in (0, 0.5)")
+    key_dtype = resolve_value_dtype(dtype)
 
     array = np.asarray(values, dtype=float)
     if array.ndim != 1 or array.size < 4:
         raise ConfigurationError("values must be a 1-d array with at least 4 entries")
     n = array.size
+    if key_dtype == np.dtype(np.float32) and n >= 2 ** 24:
+        raise ConfigurationError(
+            "float32 keys are exact only below 2**24 ranks; use float64 "
+            f"for n = {n}"
+        )
     simulate = fidelity == "simulated"
     source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
     failures = resolve_failure_model(failure_model)
@@ -159,8 +201,8 @@ def exact_quantile(
     # --- item (key) space setup -------------------------------------------------
     order = np.argsort(array, kind="stable")
     key_values = array[order].copy()          # key j (1-indexed) -> original value
-    node_keys = np.empty(n, dtype=float)
-    node_keys[order] = np.arange(1, n + 1, dtype=float)
+    node_keys = np.empty(n, dtype=key_dtype)
+    node_keys[order] = np.arange(1, n + 1, dtype=key_dtype)
 
     k = target_rank(n, phi)
     true_value = float(key_values[k - 1])     # used only for retry bookkeeping
@@ -170,16 +212,15 @@ def exact_quantile(
     retries = 0
     iteration = 0
 
-    def run_approx(
-        target_phi: float, accuracy: float, own_metrics: Optional[NetworkMetrics] = None
-    ) -> np.ndarray:
+    def run_approx(target_phi: float, accuracy: float) -> np.ndarray:
         """One approximate quantile computation over the current keys."""
         working = GossipNetwork(
             node_keys,
             rng=source.child(),
             failure_model=failures,
-            metrics=metrics if own_metrics is None else own_metrics,
+            metrics=metrics,
             keep_history=False,
+            dtype=key_dtype,
         )
         result = approximate_quantile(
             network=working,
@@ -190,23 +231,31 @@ def exact_quantile(
         return result.estimates
 
     def run_approx_pair(phi_a: float, phi_b: float, accuracy: float):
-        """Step 3: both approximate quantiles, executed in parallel.
+        """Step 3: both approximate quantiles, executed fused.
 
-        The paper's Step 3 computes the lower and upper approximation in the
-        same O(log n)-round window — one O(log n)-bit message carries both
-        working values — so the pair is charged max(rounds) rather than the
-        sum, while every message of both runs is accounted for.
+        The paper's Step 3 computes the lower and upper approximation in
+        the same O(log n)-round window — one O(log n)-bit message carries
+        both working values.  The pair runs as the two lanes of one
+        multi-lane network: one partner matrix per round shared across
+        lanes, per-lane tournament schedules with short lanes idling, so
+        rounds = max(pair) by construction and every round's messages are
+        recorded in that round (no out-of-round traffic merge).
         """
-        metrics_a = NetworkMetrics(keep_history=False)
-        metrics_b = NetworkMetrics(keep_history=False)
-        est_a = run_approx(phi_a, accuracy, own_metrics=metrics_a)
-        est_b = run_approx(phi_b, accuracy, own_metrics=metrics_b)
-        metrics.charge_rounds(max(metrics_a.rounds, metrics_b.rounds), label="approx-pair")
-        combined_messages = metrics_a.messages + metrics_b.messages
-        bits = max(metrics_a.max_message_bits, metrics_b.max_message_bits)
-        if combined_messages:
-            metrics.record_messages(combined_messages, bits)
-        return est_a, est_b
+        working = GossipNetwork(
+            np.stack([node_keys, node_keys], axis=1),
+            rng=source.child(),
+            failure_model=failures,
+            metrics=metrics,
+            keep_history=False,
+            dtype=key_dtype,
+        )
+        result = approximate_quantile(
+            network=working,
+            phi=(phi_a, phi_b),
+            eps=accuracy,
+            final_samples=final_samples,
+        )
+        return result.estimates[:, 0], result.estimates[:, 1]
 
     # The final query aims eps*n/2 ranks below k with accuracy eps/3, so the
     # answer copies must cover (5/6) eps n ranks below k; stop once the
@@ -216,7 +265,7 @@ def exact_quantile(
 
     while iteration < max_iterations:
         live = key_values.size
-        distinct = int(np.unique(key_values).size)
+        distinct = _distinct_sorted(key_values)
         if distinct <= 1 or cumulative_multiplicity >= duplication_target():
             break
         iteration += 1
@@ -238,16 +287,27 @@ def exact_quantile(
             est_hi = run_approx(min(1.0, phi_hi), eps / 2.0) if hi_bounded else None
 
         # Step 4: every node learns the min / max of the approximations.
+        # Like the Step-3 sandwich, the two spreadings share one O(log n)
+        # window (a message carries both working values): a two-sided
+        # sandwich runs the fused pair protocol, a one-sided one a single
+        # spreading, and the idealized fidelity charges one window.
         min_key: float = 1.0
         max_key: float = float("inf")
         if simulate:
-            if lo_bounded:
+            if lo_bounded and hi_bounded:
+                pair = spread_extrema_pair(
+                    est_lo, est_hi, rng=source.child(),
+                    failure_model=failures, metrics=metrics,
+                )
+                min_key = float(np.min(pair.lo_values))
+                max_key = float(np.max(pair.hi_values))
+            elif lo_bounded:
                 lo_spread = spread_extrema(
                     est_lo, mode="min", rng=source.child(),
                     failure_model=failures, metrics=metrics,
                 )
                 min_key = float(np.min(lo_spread.values))
-            if hi_bounded:
+            elif hi_bounded:
                 hi_spread = spread_extrema(
                     est_hi, mode="max", rng=source.child(),
                     failure_model=failures, metrics=metrics,
@@ -259,7 +319,7 @@ def exact_quantile(
                 min_key = float(np.min(finite_lo)) if finite_lo.size else 1.0
             if hi_bounded:
                 max_key = float(np.max(est_hi))
-            metrics.charge_rounds(2 * _charged_extrema_rounds(n), label="extrema")
+            metrics.charge_rounds(_charged_extrema_rounds(n), label="extrema")
 
         # Translate the sandwich keys to *values* and keep every copy of a
         # surviving value (Step 6 restricts by value, so copies of the same
@@ -339,7 +399,7 @@ def exact_quantile(
             # hand block members to the owner nodes in arbitrary order (here:
             # ascending node order within each item, matching the historical
             # per-node loop bit for bit).
-            node_keys = np.full(n, np.inf)
+            node_keys = np.full(n, np.inf, dtype=key_dtype)
             owners = distribution.owners
             nodes = np.flatnonzero(owners >= 0)
             items_held = owners[nodes]
@@ -350,8 +410,8 @@ def exact_quantile(
                 + 1
             )
         else:
-            node_keys = np.full(n, np.inf)
-            node_keys[:new_live] = np.arange(1, new_live + 1, dtype=float)
+            node_keys = np.full(n, np.inf, dtype=key_dtype)
+            node_keys[:new_live] = np.arange(1, new_live + 1, dtype=key_dtype)
             metrics.charge_rounds(
                 _charged_token_rounds(n, multiplicity), label="tokens"
             )
@@ -367,14 +427,14 @@ def exact_quantile(
                 multiplicity=multiplicity,
                 cumulative_multiplicity=cumulative_multiplicity,
                 target_rank=k,
-                distinct_candidates=int(np.unique(key_values).size),
+                distinct_candidates=_distinct_sorted(key_values),
                 rounds_so_far=metrics.rounds,
             )
         )
 
     if (
         iteration >= max_iterations
-        and int(np.unique(key_values).size) > 1
+        and _distinct_sorted(key_values) > 1
         and cumulative_multiplicity < duplication_target()
     ):
         raise ConvergenceError(
@@ -388,7 +448,7 @@ def exact_quantile(
     # invariant value after `max_retries` attempts.
     answer = float("nan")
     live = key_values.size
-    single_candidate = int(np.unique(key_values).size) == 1
+    single_candidate = _distinct_sorted(key_values) == 1
     for _attempt in range(max_retries + 1):
         phi_final = max(1.0 / n, k / n - eps / 2.0)
         estimates = run_approx(phi_final, eps / 3.0)

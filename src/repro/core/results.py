@@ -39,32 +39,64 @@ class TournamentPhaseResult:
     stats: List[PhaseIterationStats] = field(default_factory=list)
 
 
-@dataclass
 class ApproxQuantileResult:
     """Outcome of the ε-approximate φ-quantile computation (Theorem 1.2).
 
     Attributes
     ----------
     estimates:
-        The value output by every node.
+        The value output by every node — ``(n,)``, or ``(n, L)`` for a
+        fused multi-lane run.
     estimate:
-        A representative output (the median of the per-node outputs); all
-        nodes agree up to the ε guarantee.
+        A representative output (the median of the per-node outputs; one
+        per lane on multi-lane runs); all nodes agree up to the ε
+        guarantee.  Computed lazily — the exact-quantile driver consumes
+        only ``estimates`` and skips the O(n log n) medians.
     rounds:
         Total synchronous gossip rounds executed.
     phase1, phase2:
         Per-phase details (band trajectories), useful for the experiments.
     """
 
-    phi: float
-    eps: float
-    n: int
-    estimates: np.ndarray
-    estimate: float
-    rounds: int
-    metrics: NetworkMetrics
-    phase1: Optional[TournamentPhaseResult] = None
-    phase2: Optional[TournamentPhaseResult] = None
+    def __init__(
+        self,
+        phi,
+        eps,
+        n: int,
+        estimates: np.ndarray,
+        rounds: int,
+        metrics: NetworkMetrics,
+        estimate=None,
+        phase1: Optional[TournamentPhaseResult] = None,
+        phase2: Optional[TournamentPhaseResult] = None,
+    ) -> None:
+        self.phi = phi
+        self.eps = eps
+        self.n = n
+        self.estimates = estimates
+        self.rounds = rounds
+        self.metrics = metrics
+        self._estimate = estimate
+        self.phase1 = phase1
+        self.phase2 = phase2
+
+    @property
+    def estimate(self):
+        if self._estimate is None:
+            self._estimate = self._median_of_lanes(self.estimates)
+        return self._estimate
+
+    @staticmethod
+    def _median_of_lanes(estimates: np.ndarray):
+        if estimates.ndim == 1:
+            finite = estimates[np.isfinite(estimates)]
+            return float(np.median(finite)) if finite.size else float("nan")
+        return np.array(
+            [
+                ApproxQuantileResult._median_of_lanes(lane)
+                for lane in estimates.T
+            ]
+        )
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -75,6 +75,7 @@ def robust_approximate_quantile(
     pulls_per_iteration: Optional[int] = None,
     final_samples: int = 15,
     extra_spread_rounds: int = 12,
+    dtype=None,
 ) -> RobustQuantileResult:
     """Theorem 1.4: ε-approximate φ-quantile despite per-round node failures.
 
@@ -90,6 +91,9 @@ def robust_approximate_quantile(
         The parameter ``t`` of Theorem 1.4: after the computation, ``t``
         extra rounds in which answer-less nodes pull answers, leaving all
         but ~``n/2^t`` nodes with a correct output.
+    dtype:
+        Value dtype of the underlying gossip network (float64 default,
+        float32 opt-in); the returned estimates stay float64.
     """
     if not 0.0 <= phi <= 1.0:
         raise ConfigurationError("phi must be in [0, 1]")
@@ -112,6 +116,7 @@ def robust_approximate_quantile(
         rng=rng,
         failure_model=model,
         keep_history=False,
+        dtype=dtype,
     )
     good = np.ones(n, dtype=bool)
     k_pulls = int(pulls_per_iteration)

@@ -8,16 +8,22 @@ and doubly exponentially afterwards, reaching ``O(n^{-1/3})`` after
 ``O(log 1/eps + log log n)`` iterations.  A final vote — sample ``K = O(1)``
 nodes and output the median of the sample — then lands inside the band with
 high probability (Lemma 2.17).
+
+Like Algorithm 1 the phase is lane-wise: on a multi-lane network each lane
+runs its own ``eps`` schedule on the shared partner stream (short lanes
+idle, rounds = max over lanes) and the final vote is one shared
+``K``-round pull whose per-lane sample medians become the per-lane outputs.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.results import PhaseIterationStats, TournamentPhaseResult
 from repro.core.schedules import ThreeTournamentSchedule, three_tournament_schedule
+from repro.core.two_tournament import _lane_view, normalize_schedules, per_lane
 from repro.exceptions import ConfigurationError
 from repro.gossip.network import GossipNetwork
 from repro.utils.stats import empirical_quantile
@@ -35,10 +41,26 @@ def median_band_thresholds(values: np.ndarray, eps: float) -> Tuple[float, float
     return lo_value, hi_value
 
 
+def _median_of_three(
+    first: np.ndarray, second: np.ndarray, third: np.ndarray
+) -> np.ndarray:
+    """Element-wise median of three arrays without sorting.
+
+    ``max(min(a, b), min(max(a, b), c))`` selects exactly the element a
+    3-sort would put in the middle — five element-wise passes instead of a
+    per-row sort, and bit-identical output values.
+    """
+    lo = np.minimum(first, second)
+    hi = np.maximum(first, second)
+    return np.maximum(lo, np.minimum(hi, third))
+
+
 def run_three_tournament(
     network: GossipNetwork,
-    eps: float,
-    schedule: Optional[ThreeTournamentSchedule] = None,
+    eps: Union[float, Sequence[float]],
+    schedule: Union[
+        None, ThreeTournamentSchedule, Sequence[ThreeTournamentSchedule]
+    ] = None,
     final_samples: int = DEFAULT_FINAL_SAMPLES,
     track_band: bool = True,
 ) -> TournamentPhaseResult:
@@ -46,30 +68,59 @@ def run_three_tournament(
 
     Returns a :class:`TournamentPhaseResult` whose ``final_values`` are the
     per-node *outputs* of the algorithm: the median of ``final_samples``
-    uniformly sampled values after the tournament iterations.  The band
-    statistics track the fraction of nodes outside the ``[1/2 - eps,
-    1/2 + eps]`` band of the phase's *input* values after every iteration.
+    uniformly sampled values after the tournament iterations (per lane on a
+    multi-lane network).  The band statistics track the fraction of nodes
+    outside the ``[1/2 - eps, 1/2 + eps]`` band of the phase's *input*
+    values after every iteration (single-lane runs only).
     """
     if final_samples < 1 or final_samples % 2 == 0:
         raise ConfigurationError("final_samples must be a positive odd integer")
-    if schedule is None:
-        schedule = three_tournament_schedule(eps, network.n)
+    lanes = network.lanes
+    epss = per_lane(eps, lanes, "eps")
+    schedules = normalize_schedules(
+        schedule,
+        lanes,
+        ThreeTournamentSchedule,
+        lambda lane: three_tournament_schedule(epss[lane], network.n),
+    )
 
-    initial = network.snapshot()
     if track_band:
-        lo_value, hi_value = median_band_thresholds(initial, eps)
+        if lanes != 1:
+            raise ConfigurationError(
+                "track_band is a single-lane instrument; run fused lanes "
+                "with track_band=False"
+            )
+        initial = network.snapshot()
+        lo_value, hi_value = median_band_thresholds(initial, epss[0])
 
-    stats = []
-    for iteration in schedule.iterations:
-        current = network.snapshot()
+    stats: List[PhaseIterationStats] = []
+    can_fail = network.can_fail
+    single = network.values.ndim == 1
+    num_iterations = max((s.num_iterations for s in schedules), default=0)
+    for step in range(num_iterations):
+        current = network.snapshot() if can_fail else None
         batch = network.pull(3, label="3-tournament")
-        pulled = np.where(batch.ok, batch.values, current[:, None])
-        medians = np.sort(pulled, axis=1)[:, 1]
-        network.set_values(medians)
+        vals = batch.values
+        if can_fail:
+            mask = batch.ok if single else batch.ok[:, :, None]
+            fallback = current[:, None] if single else current[:, None, :]
+            vals = np.where(mask, vals, fallback)
+        vals = _lane_view(vals, single)                 # (n, 3, L)
+        live = _lane_view(network.values, single)       # (n, L)
+        medians = _median_of_three(vals[:, 0], vals[:, 1], vals[:, 2])
+        new_values = np.empty_like(live)
+        for lane, lane_schedule in enumerate(schedules):
+            if step >= lane_schedule.num_iterations:
+                new_values[:, lane] = live[:, lane]      # lane idles
+            else:
+                new_values[:, lane] = medians[:, lane]
+        updated = new_values[:, 0] if single else new_values
+        network.set_values(updated, copy=False)
         if track_band:
             n = network.n
-            low = float(np.count_nonzero(medians < lo_value)) / n
-            high = float(np.count_nonzero(medians > hi_value)) / n
+            iteration = schedules[0].iterations[step]
+            low = float(np.count_nonzero(updated < lo_value)) / n
+            high = float(np.count_nonzero(updated > hi_value)) / n
             stats.append(
                 PhaseIterationStats(
                     iteration=iteration.index,
@@ -81,15 +132,29 @@ def run_three_tournament(
             )
 
     # Final vote: every node samples `final_samples` values and outputs the
-    # median of its sample (Algorithm 2, line 8).
-    current = network.snapshot()
+    # median of its sample (Algorithm 2, line 8) — one shared pull batch,
+    # per-lane medians.
+    current = network.snapshot() if can_fail else None
     batch = network.pull(final_samples, label="3-tournament-vote")
-    pulled = np.where(batch.ok, batch.values, current[:, None])
-    outputs = np.sort(pulled, axis=1)[:, final_samples // 2]
+    vals = batch.values
+    if can_fail:
+        mask = batch.ok if single else batch.ok[:, :, None]
+        fallback = current[:, None] if single else current[:, None, :]
+        vals = np.where(mask, vals, fallback)
+    # partition places the middle order statistic exactly where a full sort
+    # would; the selected values are identical.  Multi-lane votes partition
+    # lane by lane so each pass runs over a contiguous (n, K) block.
+    mid = final_samples // 2
+    if vals.ndim == 2:
+        outputs = np.partition(vals, mid, axis=1)[:, mid]
+    else:
+        outputs = np.empty((vals.shape[0], vals.shape[2]), dtype=vals.dtype)
+        for lane in range(vals.shape[2]):
+            outputs[:, lane] = np.partition(vals[:, :, lane], mid, axis=1)[:, mid]
 
     return TournamentPhaseResult(
         final_values=outputs,
-        iterations=schedule.num_iterations,
-        rounds=schedule.rounds + final_samples,
+        iterations=num_iterations,
+        rounds=3 * num_iterations + final_samples,
         stats=stats,
     )

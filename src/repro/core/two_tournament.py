@@ -8,16 +8,24 @@ tournament is only performed with probability ``delta`` so that the
 above-band mass lands at ``T = 1/2 - eps`` instead of overshooting, which
 places the entire band ``[phi - eps, phi + eps]`` onto the quantiles around
 the median (Lemma 2.11).
+
+The phase is *lane-wise*: on a multi-lane network (see
+:class:`~repro.gossip.network.GossipNetwork`) each lane runs its own
+``(phi, eps)`` schedule on the shared partner stream.  Lane schedules may
+differ in length; a lane whose schedule is exhausted idles (keeps its
+values) while the longer lanes finish, so the fused phase executes
+``max``-of-lanes rounds — the paper's Step-3 accounting, by construction.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.results import PhaseIterationStats, TournamentPhaseResult
 from repro.core.schedules import TwoTournamentSchedule, two_tournament_schedule
+from repro.exceptions import ConfigurationError
 from repro.gossip.network import GossipNetwork
 from repro.utils.stats import empirical_quantile
 
@@ -43,11 +51,59 @@ def measure_band(
     return low, 1.0 - low - high, high
 
 
+def per_lane(value, lanes: int, what: str) -> List:
+    """Normalize a scalar-or-sequence phase parameter to one entry per lane."""
+    if np.isscalar(value):
+        return [value] * lanes
+    values = list(value)
+    if len(values) != lanes:
+        raise ConfigurationError(
+            f"need one {what} per lane ({lanes}), got {len(values)}"
+        )
+    return values
+
+
+def _lane_view(array: np.ndarray, single: bool) -> np.ndarray:
+    """View a value array as lanes-last.
+
+    ``single`` says whether the owning network stores 1-d (lane-less)
+    values; its arrays gain a trailing lane axis, while the arrays of a
+    true multi-lane network (including ``(n, 1)``) pass through untouched.
+    """
+    return array[..., None] if single else array
+
+
+def normalize_schedules(schedule, lanes: int, schedule_class, build) -> List:
+    """One schedule per lane from a None / single / sequence argument.
+
+    Shared by both tournament phases: ``None`` builds per-lane schedules
+    via ``build(lane)``, a bare ``schedule_class`` instance is accepted for
+    single-lane networks only, and a sequence must provide exactly one
+    schedule per lane.
+    """
+    if schedule is None:
+        return [build(lane) for lane in range(lanes)]
+    if isinstance(schedule, schedule_class):
+        if lanes != 1:
+            raise ConfigurationError(
+                "a multi-lane phase needs one schedule per lane"
+            )
+        return [schedule]
+    schedules = list(schedule)
+    if len(schedules) != lanes:
+        raise ConfigurationError(
+            f"need one schedule per lane ({lanes}), got {len(schedules)}"
+        )
+    return schedules
+
+
 def run_two_tournament(
     network: GossipNetwork,
-    phi: float,
-    eps: float,
-    schedule: Optional[TwoTournamentSchedule] = None,
+    phi: Union[float, Sequence[float]],
+    eps: Union[float, Sequence[float]],
+    schedule: Union[
+        None, TwoTournamentSchedule, Sequence[TwoTournamentSchedule]
+    ] = None,
     track_band: bool = True,
 ) -> TournamentPhaseResult:
     """Run Algorithm 1 on ``network`` (in place) and return phase statistics.
@@ -57,46 +113,80 @@ def run_two_tournament(
     failure model attached) keep their previous value for that iteration;
     the failure-aware variant with the Section-5 guarantees lives in
     :mod:`repro.core.robust`.
+
+    On a multi-lane network ``phi`` / ``eps`` (or ``schedule``) may be
+    per-lane sequences; band tracking is a single-lane instrument and must
+    be disabled for fused runs.
     """
-    if schedule is None:
-        schedule = two_tournament_schedule(phi, eps)
+    lanes = network.lanes
+    phis = per_lane(phi, lanes, "phi")
+    epss = per_lane(eps, lanes, "eps")
+    schedules = normalize_schedules(
+        schedule,
+        lanes,
+        TwoTournamentSchedule,
+        lambda lane: two_tournament_schedule(phis[lane], epss[lane]),
+    )
 
-    initial = network.snapshot()
     if track_band:
-        lo_value, hi_value = band_thresholds(initial, phi, eps)
+        if lanes != 1:
+            raise ConfigurationError(
+                "track_band is a single-lane instrument; run fused lanes "
+                "with track_band=False"
+            )
+        initial = network.snapshot()
+        lo_value, hi_value = band_thresholds(initial, phis[0], epss[0])
 
-    stats = []
-    take_min = schedule.direction == "min"
-    for iteration in schedule.iterations:
-        current = network.snapshot()
+    stats: List[PhaseIterationStats] = []
+    can_fail = network.can_fail
+    single = network.values.ndim == 1
+    num_iterations = max((s.num_iterations for s in schedules), default=0)
+    for step in range(num_iterations):
+        # The fallback value for failed pulls is the pre-iteration value;
+        # on the failure-free path every pull succeeds and the snapshot
+        # copy is skipped entirely.
+        current = network.snapshot() if can_fail else None
         batch = network.pull(2, label="2-tournament")
-        first = np.where(batch.ok[:, 0], batch.values[:, 0], current)
-        second = np.where(batch.ok[:, 1], batch.values[:, 1], current)
-        if take_min:
-            winners = np.minimum(first, second)
-        else:
-            winners = np.maximum(first, second)
+        vals = _lane_view(batch.values, single)         # (n, 2, L)
+        live = _lane_view(network.values, single)       # (n, L)
+        new_values = np.empty_like(live)
+        for lane, lane_schedule in enumerate(schedules):
+            if step >= lane_schedule.num_iterations:
+                new_values[:, lane] = live[:, lane]      # lane idles
+                continue
+            iteration = lane_schedule.iterations[step]
+            first = vals[:, 0, lane]
+            second = vals[:, 1, lane]
+            if can_fail:
+                fallback = _lane_view(current, single)[:, lane]
+                first = np.where(batch.ok[:, 0], first, fallback)
+                second = np.where(batch.ok[:, 1], second, fallback)
+            if lane_schedule.direction == "min":
+                winners = np.minimum(first, second)
+            else:
+                winners = np.maximum(first, second)
 
-        if iteration.delta >= 1.0:
-            new_values = winners
-        else:
-            coin = network.rng.random(network.n)
-            do_tournament = coin < iteration.delta
-            # With probability 1 - delta the node copies a single random
-            # value instead (Algorithm 1, lines 9-11); we reuse the first
-            # pull for that copy, exactly one sampled value.
-            new_values = np.where(do_tournament, winners, first)
+            if iteration.delta >= 1.0:
+                new_values[:, lane] = winners
+            else:
+                coin = network.rng.random(network.n)
+                do_tournament = coin < iteration.delta
+                # With probability 1 - delta the node copies a single random
+                # value instead (Algorithm 1, lines 9-11); we reuse the first
+                # pull for that copy, exactly one sampled value.
+                new_values[:, lane] = np.where(do_tournament, winners, first)
 
-        network.set_values(new_values)
+        updated = new_values[:, 0] if single else new_values
+        network.set_values(updated, copy=False)
         if track_band:
-            low, band, high = measure_band(new_values, lo_value, hi_value)
-            heavy = high if take_min else low
+            low, band, high = measure_band(updated, lo_value, hi_value)
+            iteration = schedules[0].iterations[step]
             stats.append(
                 PhaseIterationStats(
                     iteration=iteration.index,
                     predicted=iteration.h_after
                     if iteration.delta >= 1.0
-                    else schedule.threshold,
+                    else schedules[0].threshold,
                     high_fraction=high,
                     low_fraction=low,
                     band_fraction=band,
@@ -105,7 +195,7 @@ def run_two_tournament(
 
     return TournamentPhaseResult(
         final_values=network.snapshot(),
-        iterations=schedule.num_iterations,
-        rounds=schedule.rounds,
+        iterations=num_iterations,
+        rounds=2 * num_iterations,
         stats=stats,
     )

@@ -19,13 +19,12 @@ so a fixed seed yields the same execution under either engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ConvergenceError, ProtocolError
-from repro.gossip.failures import FailureModel, resolve_failure_model
+from repro.gossip.failures import FailureModel, NoFailures, resolve_failure_model
 from repro.gossip.messages import payload_bits
 from repro.gossip.metrics import NetworkMetrics, RoundRecord
 from repro.gossip.protocol import Action, BatchAction, BatchGossipProtocol, GossipProtocol
@@ -71,16 +70,64 @@ def supports_batch(protocol: GossipProtocol) -> bool:
     )
 
 
-@dataclass
 class EngineResult:
-    """Outcome of running a protocol to completion."""
+    """Outcome of running a protocol to completion.
 
-    outputs: List[Any]
-    metrics: NetworkMetrics
-    rounds: int
-    completed: bool
-    protocol_name: str = ""
-    extra: dict = field(default_factory=dict)
+    ``outputs`` (the protocol's per-node Python-list output, the historical
+    surface) is materialized lazily on first access; numeric wrappers read
+    ``outputs_array`` instead, which asks the protocol for its native numpy
+    array and never builds the ``O(n)`` list of Python floats — at
+    n = 10⁶ that list dominated the cost of a whole substrate run.
+    """
+
+    def __init__(
+        self,
+        metrics: NetworkMetrics,
+        rounds: int,
+        completed: bool,
+        protocol_name: str = "",
+        outputs: Optional[List[Any]] = None,
+        protocol: Optional[GossipProtocol] = None,
+        extra: Optional[dict] = None,
+    ) -> None:
+        self.metrics = metrics
+        self.rounds = rounds
+        self.completed = completed
+        self.protocol_name = protocol_name
+        self.extra = extra if extra is not None else {}
+        self._protocol = protocol
+        self._outputs = outputs
+
+    @property
+    def outputs(self) -> List[Any]:
+        if self._outputs is None and self._protocol is not None:
+            self._outputs = self._protocol.outputs()
+        return self._outputs
+
+    @property
+    def outputs_array(self) -> np.ndarray:
+        """The outputs as a float array, bypassing the Python list."""
+        native = getattr(self._protocol, "outputs_array", None)
+        if native is not None:
+            return native()
+        return np.asarray(self.outputs, dtype=float)
+
+
+#: Shared read-only boolean masks, one per (n, value) seen: the failure-free
+#: fast path hands these out instead of allocating fresh masks every round.
+_MASK_CACHE: dict = {}
+
+
+def _cached_mask(n: int, value: bool) -> np.ndarray:
+    key = (n, value)
+    mask = _MASK_CACHE.get(key)
+    if mask is None:
+        mask = np.full(n, value, dtype=bool)
+        mask.setflags(write=False)
+        if len(_MASK_CACHE) > 128:
+            _MASK_CACHE.clear()
+        _MASK_CACHE[key] = mask
+    return mask
 
 
 def draw_round_partners(source: RandomSource, n: int) -> np.ndarray:
@@ -137,11 +184,11 @@ def _finish_run(
             f"protocol {protocol.name!r} did not finish within {max_rounds} rounds"
         )
     return EngineResult(
-        outputs=protocol.outputs(),
         metrics=stats,
         rounds=rounds,
         completed=completed,
         protocol_name=protocol.name,
+        protocol=protocol,
     )
 
 
@@ -165,6 +212,12 @@ def _begin_round(
     consumes the engine's stream, keeping loop and vectorized runs aligned.
     """
     record = stats.begin_round(label=protocol.name)
+    if process is None and isinstance(failures, NoFailures):
+        # Failure-free fast path: a shared read-only all-False mask, no
+        # per-round mask allocation or failure-count scan.
+        stats.record_failures(0, record)
+        partners = sampler.draw_round(source)
+        return record, _cached_mask(n, False), partners
     failed = failures.failure_mask(round_index, n, source)
     if process is not None:
         state = process.round_state(round_index)
@@ -303,7 +356,9 @@ def run_protocol_vectorized(
             protocol, round_index, n, source, failures, stats, sampler,
             topology_process,
         )
-        alive = ~failed
+        # rounds without failures reuse a shared all-True mask and skip the
+        # negation and population-count passes
+        alive = _cached_mask(n, True) if record.failed_nodes == 0 else ~failed
 
         action = protocol.act_batch(round_index, alive)
         if not isinstance(action, BatchAction):
@@ -311,7 +366,7 @@ def run_protocol_vectorized(
                 f"{protocol.name}: act_batch() must return a BatchAction, "
                 f"got {action!r}"
             )
-        active = int(alive.sum())
+        active = n - record.failed_nodes
         if action.kind == "mixed" and active > 0:
             if action.kinds is None or action.kinds.shape != (n,):
                 raise ProtocolError(

@@ -4,7 +4,20 @@ The tournament algorithms of the paper only ever *pull the current value of
 a uniformly random node*.  A :class:`GossipNetwork` therefore stores the
 current value of every node in a single numpy array and executes one round
 (all n nodes pull one random partner) as a single gather.  Round, message
-and bit accounting, and the Section-5 failure model, are applied per round.
+and bit accounting, and the Section-5 failure model, are applied per round
+through one batched accounting call.
+
+Multi-lane networks
+-------------------
+A network may carry ``L`` *lanes*: the value array becomes an ``(n, L)``
+column-stacked matrix and every node's message carries its ``L`` working
+values.  One partner matrix is drawn per round and shared across lanes —
+exactly the paper's Step-3 trick of running the lower and upper ε/2
+approximation of Algorithm 3 in the same O(log n)-round window, with one
+O(log n)-bit message carrying both working values.  Each round is recorded
+once, with the per-lane payload bits folded into the message size.
+``L = 1`` (a 1-d value array) is bit-identical to the historical
+single-lane partner and value streams.
 """
 
 from __future__ import annotations
@@ -16,12 +29,28 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.gossip.failures import FailureModel, NoFailures, resolve_failure_model
-from repro.gossip.messages import tournament_message_bits
+from repro.gossip.messages import BITS_PER_VALUE, tournament_message_bits
 from repro.gossip.metrics import NetworkMetrics
 from repro.topology.dynamic import TopologyProcess, resolve_topology_process
 from repro.topology.graphs import Topology
 from repro.topology.sampler import resolve_peer_sampler
 from repro.utils.rand import RandomSource
+
+#: Value dtypes a network may run on.  float64 is the default; float32
+#: halves the memory traffic of the per-round ``(n, k, L)`` gathers and is
+#: exact for integer-valued payloads below 2**24 (e.g. the exact-quantile
+#: driver's rank keys).
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def resolve_value_dtype(dtype) -> np.dtype:
+    """Normalize a user-supplied value dtype (``None`` -> float64)."""
+    resolved = np.dtype(np.float64 if dtype is None else dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        raise ConfigurationError(
+            f"unsupported value dtype {resolved}; choose float32 or float64"
+        )
+    return resolved
 
 
 @dataclass
@@ -32,15 +61,17 @@ class PullBatch:
     ----------
     partners:
         ``(n, k)`` integer array: the node contacted by each node in each of
-        the ``k`` rounds.
+        the ``k`` rounds.  One draw shared by every lane.
     values:
-        ``(n, k)`` float array: the value held by that partner at the start
-        of the batch.  (Within one tournament iteration every pull reads the
-        partner's value *from the previous iteration*, so reading a snapshot
-        is exactly the paper's semantics.)
+        The value held by that partner at the start of the batch: ``(n, k)``
+        for a single-lane network, ``(n, k, L)`` for a multi-lane one.
+        (Within one tournament iteration every pull reads the partner's
+        value *from the previous iteration*, so reading a snapshot is
+        exactly the paper's semantics.)
     ok:
         ``(n, k)`` boolean array: False where the pulling node failed in
-        that round and the pull therefore never happened.
+        that round and the pull therefore never happened.  Failures are
+        per node and round — they apply to every lane of the message.
     """
 
     partners: np.ndarray
@@ -55,6 +86,10 @@ class PullBatch:
     def k(self) -> int:
         return self.partners.shape[1]
 
+    @property
+    def lanes(self) -> int:
+        return 1 if self.values.ndim == 2 else self.values.shape[2]
+
 
 class GossipNetwork:
     """A synchronous uniform gossip network over a shared value array.
@@ -62,7 +97,9 @@ class GossipNetwork:
     Parameters
     ----------
     values:
-        Initial value of every node (length ``n``).
+        Initial value of every node: length ``n`` for a single-lane network
+        or an ``(n, L)`` column-stacked matrix for ``L`` lanes sharing one
+        partner stream (see the module docstring).
     rng:
         Seed or :class:`RandomSource` for partner selection and failures.
     failure_model:
@@ -91,6 +128,10 @@ class GossipNetwork:
         Mutually exclusive with ``topology``.  With a process attached each
         pull column draws its partners from that round's sampler (active
         targets only) and departed nodes have ``ok = False`` for the round.
+    dtype:
+        Value dtype: float64 (default) or float32.  The paper's messages
+        are O(log n) bits either way; float32 halves the simulator's
+        memory traffic on the hot ``(n, k, L)`` gathers.
     """
 
     def __init__(
@@ -104,15 +145,23 @@ class GossipNetwork:
         topology: Optional[Topology] = None,
         peer_sampling: str = "uniform",
         topology_process: Optional[TopologyProcess] = None,
+        dtype=None,
     ) -> None:
-        array = np.asarray(values, dtype=float).copy()
-        if array.ndim != 1:
-            raise ConfigurationError("values must be one-dimensional")
-        if array.size < 2:
+        self._dtype = resolve_value_dtype(dtype)
+        array = np.asarray(values, dtype=self._dtype).copy()
+        if array.ndim not in (1, 2):
+            raise ConfigurationError(
+                "values must be one-dimensional (single lane) or an "
+                "(n, lanes) matrix"
+            )
+        if array.ndim == 2 and array.shape[1] < 1:
+            raise ConfigurationError("a multi-lane network needs at least 1 lane")
+        if array.shape[0] < 2:
             raise ConfigurationError("a gossip network needs at least 2 nodes")
         self._values = array
         self._initial_values = array.copy()
-        self._n = array.size
+        self._n = array.shape[0]
+        self._lanes = 1 if array.ndim == 1 else array.shape[1]
         self._rng = rng if isinstance(rng, RandomSource) else RandomSource(rng)
         self._failures = resolve_failure_model(failure_model)
         self._allow_self = bool(allow_self_contact)
@@ -145,13 +194,28 @@ class GossipNetwork:
         self.metrics = metrics if metrics is not None else NetworkMetrics(
             keep_history=keep_history
         )
-        self._message_bits = tournament_message_bits(self._n)
+        # One message per pull; a multi-lane message carries one value per
+        # lane under the same framing (the paper's shared O(log n)-bit
+        # window), so extra lanes add only their payload values.
+        self._message_bits = (
+            tournament_message_bits(self._n) + (self._lanes - 1) * BITS_PER_VALUE
+        )
 
     # -- basic properties ---------------------------------------------------------
     @property
     def n(self) -> int:
         """Number of nodes."""
         return self._n
+
+    @property
+    def lanes(self) -> int:
+        """Number of value lanes sharing the partner stream."""
+        return self._lanes
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The dtype of the value array."""
+        return self._dtype
 
     @property
     def values(self) -> np.ndarray:
@@ -172,6 +236,16 @@ class GossipNetwork:
         return self._failures
 
     @property
+    def can_fail(self) -> bool:
+        """Whether any pull can come back with ``ok = False``.
+
+        True when a failure model is attached or the topology is a dynamic
+        process (departed nodes do not pull).  Phase drivers use this to
+        skip the per-iteration fallback snapshot on the failure-free path.
+        """
+        return not isinstance(self._failures, NoFailures) or self._process is not None
+
+    @property
     def rounds(self) -> int:
         """Number of synchronous rounds executed so far."""
         return self.metrics.rounds
@@ -180,14 +254,22 @@ class GossipNetwork:
         """A copy of the current values."""
         return self._values.copy()
 
-    def set_values(self, values: Union[Sequence[float], np.ndarray]) -> None:
-        """Replace the value of every node (e.g. between algorithm phases)."""
-        array = np.asarray(values, dtype=float)
-        if array.shape != (self._n,):
+    def set_values(
+        self, values: Union[Sequence[float], np.ndarray], copy: bool = True
+    ) -> None:
+        """Replace the value of every node (e.g. between algorithm phases).
+
+        ``copy=False`` adopts the array without a defensive copy — for
+        callers handing over a freshly built array they will not touch
+        again (the tournament phases do this every iteration).
+        """
+        array = np.asarray(values, dtype=self._dtype)
+        if array.shape != self._values.shape:
             raise ConfigurationError(
-                f"expected {self._n} values, got shape {array.shape}"
+                f"expected values of shape {self._values.shape}, "
+                f"got shape {array.shape}"
             )
-        self._values = array.copy()
+        self._values = array.copy() if copy else array
 
     def reset(self) -> None:
         """Restore the initial values and clear accumulated metrics."""
@@ -224,32 +306,84 @@ class GossipNetwork:
 
         Each of the ``k`` columns corresponds to one synchronous round in
         which every node pulls the (start-of-batch) value of one uniformly
-        random node.  Nodes that fail in a round (per the failure model)
-        have ``ok = False`` for that round and receive no value (NaN).
+        random node — every lane reads from the same partner.  Nodes that
+        fail in a round (per the failure model) have ``ok = False`` for
+        that round and receive no value (NaN).
         """
         if k <= 0:
             raise ConfigurationError("k must be positive")
-        source = self._values if values is None else np.asarray(values, dtype=float)
-        if source.shape != (self._n,):
-            raise ConfigurationError("values override must have length n")
+        source = self._values if values is None else np.asarray(
+            values, dtype=self._dtype
+        )
+        if source.shape != self._values.shape:
+            raise ConfigurationError(
+                f"values override must have shape {self._values.shape}"
+            )
         bits = self._message_bits if payload_bits is None else int(payload_bits)
 
         if self._process is not None:
             return self._pull_dynamic(k, label, bits, source)
         partners = self._sample_partners(k)
-        pulled = source[partners]
-        ok = np.ones((self._n, k), dtype=bool)
+        pulled = self._gather(source, partners)
+        if isinstance(self._failures, NoFailures):
+            # Failure-free fast path: no per-round mask draws, no NaN
+            # masking, one batched accounting call for all k rounds, and a
+            # zero-allocation broadcast view for the all-True ok mask.
+            ok = np.broadcast_to(np.True_, (self._n, k))
+            self.metrics.record_rounds_batch(
+                k, label=label, messages=self._n, bits_each=bits
+            )
+            return PullBatch(partners=partners, values=pulled, ok=ok)
+        # Failure masks are drawn per round, in round order, so the random
+        # stream is unchanged from the historical per-column loop; only the
+        # metrics recording is batched.
+        base = self.metrics.rounds
+        ok = np.empty((self._n, k), dtype=bool)
         for column in range(k):
-            record = self.metrics.begin_round(label=label)
-            failed = self._failures.failure_mask(self.metrics.rounds - 1, self._n, self._rng)
+            failed = self._failures.failure_mask(base + column, self._n, self._rng)
             ok[:, column] = ~failed
-            self.metrics.record_failures(int(failed.sum()), record)
-            # one request + one response per successful pull; we charge the
-            # response (which carries the value) at the protocol's bit cost.
-            successes = int((~failed).sum())
-            self.metrics.record_messages(successes, bits, record)
-        pulled = np.where(ok, pulled, np.nan)
+        successes = ok.sum(axis=0)
+        # one request + one response per successful pull; we charge the
+        # response (which carries the values) at the protocol's bit cost.
+        self.metrics.record_rounds_batch(
+            k,
+            label=label,
+            messages=successes,
+            bits_each=bits,
+            failures=self._n - successes,
+        )
+        pulled = self._mask_failed(pulled, ok)
         return PullBatch(partners=partners, values=pulled, ok=ok)
+
+    def _gather(self, source: np.ndarray, partners: np.ndarray) -> np.ndarray:
+        """Gather the pulled values: ``(n, k)`` or ``(n, k, L)``.
+
+        Multi-lane gathers go lane by lane from a contiguous column —
+        several 1-d gathers are ~3x faster than one row-wise gather of
+        ``(n, L)`` rows.  The lanes-first block is returned as a transposed
+        ``(n, k, L)`` view.  ``np.take(mode="clip")`` skips the per-element
+        bounds check fancy indexing pays (partners are drawn in ``[0, n)``,
+        so clipping never fires) — ~40% faster on latency-bound gathers at
+        n = 10⁶.
+        """
+        if source.ndim == 1:
+            return np.take(source, partners, mode="clip")
+        block = np.empty(
+            (self._lanes,) + partners.shape, dtype=self._dtype
+        )
+        for lane in range(self._lanes):
+            np.take(
+                np.ascontiguousarray(source[:, lane]),
+                partners,
+                out=block[lane],
+                mode="clip",
+            )
+        return block.transpose(1, 2, 0)
+
+    def _mask_failed(self, pulled: np.ndarray, ok: np.ndarray) -> np.ndarray:
+        """NaN out the pulls of failed nodes (lane-broadcast for L > 1)."""
+        mask = ok if pulled.ndim == 2 else ok[:, :, None]
+        return np.where(mask, pulled, np.nan)
 
     def _pull_dynamic(
         self, k: int, label: str, bits: int, source: np.ndarray
@@ -262,27 +396,31 @@ class GossipNetwork:
         the start-of-batch snapshot (the paper's within-iteration
         semantics).  The process round counter is the network's global
         round count, so interleaved pull batches see one consistent
-        schedule.
+        schedule; partner and failure draws stay per round while the
+        metrics are recorded in one batch at the end.
         """
         partners = np.empty((self._n, k), dtype=np.int64)
         ok = np.ones((self._n, k), dtype=bool)
+        base = self.metrics.rounds
         for column in range(k):
-            record = self.metrics.begin_round(label=label)
-            state = self._process.round_state(self.metrics.rounds - 1)
+            state = self._process.round_state(base + column)
             partners[:, column] = state.sampler.draw_round(self._rng)
-            failed = self._failures.failure_mask(
-                self.metrics.rounds - 1, self._n, self._rng
-            )
+            failed = self._failures.failure_mask(base + column, self._n, self._rng)
             failed = failed | ~state.active
             ok[:, column] = ~failed
-            self.metrics.record_failures(int(failed.sum()), record)
-            successes = int((~failed).sum())
-            self.metrics.record_messages(successes, bits, record)
-        pulled = np.where(ok, source[partners], np.nan)
+        successes = ok.sum(axis=0)
+        self.metrics.record_rounds_batch(
+            k,
+            label=label,
+            messages=successes,
+            bits_each=bits,
+            failures=self._n - successes,
+        )
+        pulled = self._mask_failed(self._gather(source, partners), ok)
         return PullBatch(partners=partners, values=pulled, ok=ok)
 
     def pull_values(self, k: int = 1, label: str = "pull") -> np.ndarray:
-        """Convenience wrapper returning only the ``(n, k)`` value array.
+        """Convenience wrapper returning only the pulled value array.
 
         Only valid under :class:`NoFailures`; raises otherwise because the
         caller would have no way to see which pulls failed.
@@ -299,6 +437,6 @@ class GossipNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"GossipNetwork(n={self._n}, rounds={self.rounds}, "
-            f"failures={self._failures!r})"
+            f"GossipNetwork(n={self._n}, lanes={self._lanes}, "
+            f"rounds={self.rounds}, failures={self._failures!r})"
         )

@@ -37,6 +37,23 @@ from repro.utils.rand import RandomSource, resample_forbidden_targets
 PEER_SAMPLING_CHOICES = ("uniform", "round-robin")
 
 
+#: Cached identity index arrays (one per n seen), shared read-only by the
+#: per-round partner draws so each round skips an O(n) allocation.
+_IDENTITY_CACHE: dict = {}
+
+
+def _identity_indices(n: int) -> np.ndarray:
+    cached = _IDENTITY_CACHE.get(n)
+    if cached is None:
+        cached = np.arange(n)
+        cached.setflags(write=False)
+        # keep the cache from growing without bound across odd sizes
+        if len(_IDENTITY_CACHE) > 64:
+            _IDENTITY_CACHE.clear()
+        _IDENTITY_CACHE[n] = cached
+    return cached
+
+
 def draw_uniform_round_partners(source: RandomSource, n: int) -> np.ndarray:
     """Each node's uniformly random partner among the *other* nodes.
 
@@ -46,7 +63,7 @@ def draw_uniform_round_partners(source: RandomSource, n: int) -> np.ndarray:
     preserves the random stream of every seeded pre-topology run.
     """
     partners = source.integers(0, n, size=n)
-    return resample_forbidden_targets(source, partners, np.arange(n), n)
+    return resample_forbidden_targets(source, partners, _identity_indices(n), n)
 
 
 def _require_gossipable(topology: Topology) -> None:

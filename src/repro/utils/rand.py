@@ -41,6 +41,17 @@ def resample_forbidden_targets(
     """
     if n < 2:
         raise ValueError("need at least 2 possible targets to exclude one")
+    forbidden = np.asarray(forbidden)
+    if targets.shape == forbidden.shape and targets.ndim == 1:
+        # Same-shape fast path (the per-round partner draw): track only the
+        # colliding *indices* between passes instead of re-comparing the
+        # full arrays.  Collisions are visited in index order, exactly like
+        # the boolean-mask assignment, so the draws are unchanged.
+        bad = np.flatnonzero(targets == forbidden)
+        while bad.size:
+            targets[bad] = source.integers(0, n, size=bad.size)
+            bad = bad[targets[bad] == forbidden[bad]]
+        return targets
     mask = targets == forbidden
     while np.any(mask):
         targets[mask] = source.integers(0, n, size=int(mask.sum()))

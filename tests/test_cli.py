@@ -161,3 +161,41 @@ def test_churn_accepts_degree_with_any_topology(capsys):
         "--churn-rate", "0.1", "--resample-every", "2",
     ]) == 0
     assert "newscast" in capsys.readouterr().out
+
+
+def test_query_exact_with_float32_dtype(tmp_path, capsys):
+    values = np.arange(1.0, 513.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    assert main([
+        "query", "--input", str(path), "--phi", "0.5", "--seed", "2",
+        "--fidelity", "simulated", "--dtype", "float32",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "exact 0.5-quantile = 256.0" in out
+
+
+def test_query_approximate_with_float32_dtype(tmp_path, capsys):
+    values = np.arange(1.0, 513.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    assert main([
+        "query", "--input", str(path), "--phi", "0.5", "--eps", "0.1",
+        "--seed", "1", "--dtype", "float32",
+    ]) == 0
+    assert "approximate 0.5-quantile" in capsys.readouterr().out
+
+
+def test_exact_scale_experiment_accepts_dtype_axis(capsys):
+    assert main([
+        "exact-scale", "--sizes", "512", "--trials", "1", "--seed", "4",
+        "--dtype", "float64", "float32",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "f32_parity" in out
+    assert "float32" in out
+
+
+def test_experiment_without_dtype_axis_rejects_dtype():
+    with pytest.raises(ConfigurationError):
+        main(["schedules", "--sizes", "256", "--dtype", "float32"])

@@ -119,10 +119,17 @@ def test_simulated_fidelity_exact_at_scale():
     assert result.rounds > 0
 
 
-def test_simulated_loop_engine_bit_identical_to_pre_vectorization():
+def test_simulated_loop_engine_seeded_execution_is_pinned():
     """With the loop engines forced globally, the simulated driver must
-    reproduce the pre-PR-3 seeded execution exactly (value, rounds,
-    iterations and retries)."""
+    reproduce this pinned seeded execution exactly (value, rounds,
+    iterations and retries).
+
+    The pin was re-baselined when the Step-3 sandwich pair and the Step-4
+    min/max spreadings became fused runs (a documented deviation: each
+    pair now *executes* in one max-of-pair window instead of running
+    sequentially, so it consumes a different random stream and strictly
+    fewer rounds — this seed used to take 609 rounds and 3 sandwich
+    retries)."""
     from repro.gossip.engine import get_default_engine, set_default_engine
 
     values = np.random.default_rng(42).permutation(512).astype(float)
@@ -133,9 +140,9 @@ def test_simulated_loop_engine_bit_identical_to_pre_vectorization():
     finally:
         set_default_engine(before)
     assert result.value == 358.0
-    assert result.rounds == 609
+    assert result.rounds == 427
     assert result.iterations == 3
-    assert result.retries == 3
+    assert result.retries == 0
 
 
 def test_simulated_fidelity_engine_choice_does_not_change_the_answer():

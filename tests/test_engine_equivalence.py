@@ -213,3 +213,91 @@ def test_malformed_act_batch_raises_protocol_error():
 
     with pytest.raises(ProtocolError):
         run_protocol_vectorized(Broken(_values(8, seed=3), rounds=3), rng=1)
+
+
+# ---- single-lane (L = 1) stream pins ----------------------------------------
+#
+# sha256 prefixes of seeded single-lane GossipNetwork / tournament /
+# approximate-quantile runs, captured on the pre-multi-lane tree (PR 4).
+# The multi-lane pull surface, the batched round accounting, the
+# no-failure fast paths and the sort-free median selection must all leave
+# the default L = 1 float64 streams bit-for-bit unchanged.
+
+def _digest(*arrays):
+    import hashlib
+
+    digest = hashlib.sha256()
+    for array in arrays:
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def _pin_values():
+    return RandomSource(33).random(257) * 100.0
+
+
+SINGLE_LANE_PINS = {
+    "pull_nofail": "6103f313a9ed90fb",
+    "pull_fail": "8391e438e169129c",
+    "two_tournament": "2d6c2f3cef779455",
+    "three_tournament": "ee662e3d13add2d8",
+    "approx": "b5967131d573f010",
+    "approx_fail": "45a282331a888ed4",
+}
+
+
+def test_single_lane_pull_stream_pinned_to_pre_multilane_tree():
+    from repro.gossip.network import GossipNetwork
+
+    net = GossipNetwork(_pin_values(), rng=12)
+    batch = net.pull(3)
+    assert _digest(batch.partners, batch.values, batch.ok) == (
+        SINGLE_LANE_PINS["pull_nofail"]
+    )
+
+    net = GossipNetwork(_pin_values(), rng=12, failure_model=0.3)
+    batch = net.pull(4)
+    assert _digest(batch.partners, batch.values, batch.ok) == (
+        SINGLE_LANE_PINS["pull_fail"]
+    )
+    # the batched accounting reproduces the per-round records exactly
+    assert net.metrics.summary() == {
+        "rounds": 4,
+        "messages": 717,
+        "total_bits": 63813,
+        "max_message_bits": 89,
+        "failed_node_rounds": 311,
+    }
+
+
+def test_single_lane_tournament_streams_pinned_to_pre_multilane_tree():
+    from repro.core.three_tournament import run_three_tournament
+    from repro.core.two_tournament import run_two_tournament
+    from repro.gossip.network import GossipNetwork
+
+    net = GossipNetwork(_pin_values(), rng=5, keep_history=False)
+    two = run_two_tournament(net, phi=0.3, eps=0.1)
+    assert (_digest(two.final_values), two.rounds) == (
+        SINGLE_LANE_PINS["two_tournament"], 2
+    )
+
+    net = GossipNetwork(_pin_values(), rng=6, keep_history=False)
+    three = run_three_tournament(net, eps=0.05)
+    assert (_digest(three.final_values), three.rounds) == (
+        SINGLE_LANE_PINS["three_tournament"], 33
+    )
+
+
+def test_single_lane_approximate_quantile_pinned_to_pre_multilane_tree():
+    from repro.core.approx_quantile import approximate_quantile
+
+    result = approximate_quantile(_pin_values(), phi=0.35, eps=0.1, rng=7)
+    assert _digest(result.estimates) == SINGLE_LANE_PINS["approx"]
+    assert result.rounds == 38
+    assert result.estimate == 32.56950035748125
+
+    failed = approximate_quantile(
+        _pin_values(), phi=0.35, eps=0.1, rng=7, failure_model=0.25
+    )
+    assert _digest(failed.estimates) == SINGLE_LANE_PINS["approx_fail"]
+    assert failed.rounds == 38

@@ -133,12 +133,44 @@ def test_exact_scale_rows():
     from repro.experiments import exact_scale
 
     rows = exact_scale.run(sizes=(1024,), phis=(0.5,), trials=1, seed=21)
+    # default dtype sweep: one float64 row and one float32 parity row
+    assert len(rows) == 2
+    by_dtype = {row["dtype"]: row for row in rows}
+    assert set(by_dtype) == {"float64", "float32"}
+    for row in rows:
+        assert row["fidelity"] == "simulated"
+        assert row["correct"] == 1.0
+        assert row["rank_error"] == 0.0
+        assert row["rounds"] > 0
+        assert row["wall_s"] > 0
+    # float32 keys are exact below 2**24 ranks: parity with float64 holds,
+    # and the same cell seed replays the same gossip schedule exactly
+    assert by_dtype["float32"]["f32_parity"] == 1.0
+    assert "f32_parity" not in by_dtype["float64"]
+    assert by_dtype["float32"]["rounds"] == by_dtype["float64"]["rounds"]
+
+
+def test_exact_scale_parity_independent_of_dtype_order():
+    from repro.experiments import exact_scale
+
+    rows = exact_scale.run(sizes=(512,), phis=(0.5,), trials=1, seed=21,
+                           dtypes=("float32", "float64"))
+    f32 = next(row for row in rows if row["dtype"] == "float32")
+    assert f32["f32_parity"] == 1.0
+
+
+def test_exact_scale_single_dtype_axis():
+    from repro.experiments import exact_scale
+
+    rows = exact_scale.run(sizes=(512,), phis=(0.5,), trials=1, seed=3,
+                           dtypes=("float64",))
     assert len(rows) == 1
-    row = rows[0]
-    assert row["fidelity"] == "simulated"
-    assert row["correct"] == 1.0
-    assert row["rounds"] > 0
-    assert row["wall_s"] > 0
+    assert rows[0]["dtype"] == "float64"
+    assert "f32_parity" not in rows[0]
+    import pytest
+    from repro.exceptions import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        exact_scale.run(sizes=(512,), dtypes=("float16",))
 
 
 def test_exact_scale_rows_identical_for_any_worker_count():

@@ -24,8 +24,13 @@ def test_construction_and_properties():
 def test_construction_validation():
     with pytest.raises(ConfigurationError):
         GossipNetwork([1.0])
+    # a 2-d array is a valid *multi-lane* network; only >2-d is rejected
     with pytest.raises(ConfigurationError):
-        GossipNetwork(np.ones((2, 2)))
+        GossipNetwork(np.ones((2, 2, 2)))
+    with pytest.raises(ConfigurationError):
+        GossipNetwork(np.ones((1, 3)))  # still needs >= 2 nodes
+    with pytest.raises(ConfigurationError):
+        GossipNetwork(np.ones(4), dtype=np.int64)
 
 
 def test_pull_advances_rounds_and_counts_messages():
