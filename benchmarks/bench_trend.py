@@ -58,6 +58,11 @@ IGNORED = (
     "max_rank_error",
     "f32_parity",
     "rounds_per_logn",
+    # self-rank accuracy columns: seeded error statistics, not perf metrics
+    # — and not identity keys, or row matching would break on jitter.
+    "mean_error",
+    "p95_error",
+    "fraction_within_2eps",
 )
 
 

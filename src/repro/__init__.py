@@ -24,7 +24,8 @@ from repro.core import (
 )
 from repro.core.results import ApproxQuantileResult, ExactQuantileResult
 from repro.core.robust import RobustQuantileResult
-from repro.core.all_quantiles import AllRanksResult
+from repro.core.all_quantiles import AllRanksResult, true_self_quantiles
+from repro.core.service import QuantileService, QueryAnswer
 from repro.gossip import (
     GossipNetwork,
     NetworkMetrics,
@@ -52,6 +53,9 @@ __all__ = [
     "ExactQuantileResult",
     "RobustQuantileResult",
     "AllRanksResult",
+    "true_self_quantiles",
+    "QuantileService",
+    "QueryAnswer",
     "GossipNetwork",
     "NetworkMetrics",
     "NoFailures",

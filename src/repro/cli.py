@@ -13,6 +13,12 @@ Reproduce the Theorem 1.2 round-complexity table with small parameters::
 Compute a quantile of a file of numbers (one per line)::
 
     python -m repro query --phi 0.9 --eps 0.05 --input values.txt
+
+Let every node estimate its own rank in one fused pass, or stand up a
+quantile service that answers many φ queries from a single pass::
+
+    python -m repro ranks --eps 0.05 --input values.txt
+    python -m repro serve --eps 0.05 --phi 0.1 0.5 0.9 --input values.txt
 """
 
 from __future__ import annotations
@@ -23,8 +29,14 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.all_quantiles import (
+    DEFAULT_MAX_LANES,
+    estimate_all_ranks,
+    true_self_quantiles,
+)
 from repro.core.approx_quantile import approximate_quantile
 from repro.core.exact_quantile import exact_quantile
+from repro.core.service import QuantileService
 from repro.experiments.churn_sweep import FAILURE_CHOICES
 from repro.experiments.runner import REGISTRY, run_experiment
 from repro.gossip.engine import ENGINE_CHOICES, get_default_engine, set_default_engine
@@ -125,6 +137,72 @@ def _build_parser() -> argparse.ArgumentParser:
              "simulator's memory traffic — the exact algorithm's rank keys "
              "stay exact below 2^24 nodes)",
     )
+
+    ranks = sub.add_parser(
+        "ranks",
+        help="every node estimates its own quantile in one fused pass "
+             "(Corollary 1.5)",
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="build a quantile service from one gossip pass and answer "
+             "arbitrary phi queries",
+    )
+    for command in (ranks, serve):
+        command.add_argument(
+            "--input", required=True,
+            help="text file with one value per line",
+        )
+        command.add_argument(
+            "--eps", type=float, default=0.1,
+            help="grid spacing: ceil(1/eps) - 1 quantile targets fused "
+                 "into multi-lane tournaments",
+        )
+        command.add_argument(
+            "--query-accuracy", type=float, default=None, dest="query_accuracy",
+            help="per-grid-target accuracy (default eps / 2)",
+        )
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--engine", choices=ENGINE_CHOICES, default=None,
+            help="gossip engine: auto (default), loop, or vectorized",
+        )
+        command.add_argument(
+            "--dtype", choices=("float64", "float32"), default=None,
+            help="gossip value dtype (default float64)",
+        )
+        command.add_argument(
+            "--topology", choices=TOPOLOGY_CHOICES, default=None,
+            help="gossip topology (default: complete graph)",
+        )
+        command.add_argument(
+            "--degree", type=int, default=None,
+            help="target degree for degree-parameterised topologies",
+        )
+        command.add_argument(
+            "--rewire-p", type=float, default=None, dest="rewire_p",
+            help="rewiring probability of the small-world topology",
+        )
+        command.add_argument(
+            "--sequential", action="store_true",
+            help="run the grid as sequential single-lane queries instead "
+                 "of the fused multi-lane pass (the pre-fusion reference)",
+        )
+        command.add_argument(
+            "--max-lanes", type=int, default=DEFAULT_MAX_LANES,
+            dest="max_lanes",
+            help="lane-chunk width of the fused pass (memory bound on the "
+                 "per-round gather blocks)",
+        )
+    serve.add_argument(
+        "--phi", type=float, nargs="+", required=True,
+        help="quantile targets to answer from the one pass",
+    )
+    serve.add_argument(
+        "--sketch-k", type=int, default=None, dest="sketch_k",
+        help="attach a mergeable KLL sketch of this capacity for phi "
+             "targets finer than the eps-grid",
+    )
     return parser
 
 
@@ -214,6 +292,85 @@ def _run_query(args: argparse.Namespace) -> str:
     )
 
 
+def _load_values_and_topology(args: argparse.Namespace):
+    """Shared ranks/serve front end: value file + validated topology flags."""
+    values = np.loadtxt(args.input, dtype=float).ravel()
+    validate_topology_flags(
+        [args.topology] if args.topology is not None else None,
+        degree=args.degree,
+        rewire_p=args.rewire_p,
+        require_topology=True,
+    )
+    topology = None
+    if args.topology is not None:
+        topology = build_topology(
+            args.topology,
+            values.size,
+            degree=args.degree,
+            rewire_p=args.rewire_p,
+            rng=args.seed,
+        )
+    return values, topology
+
+
+def _run_ranks(args: argparse.Namespace) -> str:
+    values, topology = _load_values_and_topology(args)
+    result = estimate_all_ranks(
+        values,
+        eps=args.eps,
+        rng=args.seed,
+        query_accuracy=args.query_accuracy,
+        fused=not args.sequential,
+        max_lanes=args.max_lanes,
+        topology=topology,
+        dtype=args.dtype,
+        engine=args.engine,
+    )
+    errors = np.abs(result.quantile_estimates - true_self_quantiles(values))
+    mode = "fused" if result.fused else "sequential"
+    where = f" on {args.topology}" if topology is not None else ""
+    return (
+        f"self-rank estimates for n={result.n} (eps={args.eps}{where}): "
+        f"{result.grid.size} grid targets in {result.chunks} {mode} "
+        f"tournament run(s), {result.rounds} gossip rounds; "
+        f"error mean={float(errors.mean()):.4f} "
+        f"p95={float(np.quantile(errors, 0.95)):.4f} "
+        f"max={float(errors.max()):.4f}"
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> str:
+    values, topology = _load_values_and_topology(args)
+    service = QuantileService(
+        values,
+        eps=args.eps,
+        rng=args.seed,
+        query_accuracy=args.query_accuracy,
+        fused=not args.sequential,
+        max_lanes=args.max_lanes,
+        topology=topology,
+        dtype=args.dtype,
+        engine=args.engine,
+        sketch_k=args.sketch_k,
+    )
+    lines = []
+    for answer in service.batch_quantiles(args.phi):
+        lines.append(
+            f"phi={answer.phi:g} -> {answer.value} "
+            f"({answer.source}, rank accuracy ±{answer.accuracy:.4f})"
+        )
+    summary = service.summary()
+    lines.append(
+        f"one pass: {summary['rounds']} gossip rounds over "
+        f"{summary['grid_targets']} grid targets "
+        f"({summary['chunks']} {'fused' if summary['fused'] else 'sequential'} "
+        f"run(s), {summary['gossip_bits']} bits); served "
+        f"{summary['queries_answered']} queries for {summary['query_bits']} "
+        f"bits — zero additional rounds"
+    )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-gossip`` console script."""
     parser = _build_parser()
@@ -235,6 +392,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_run_query(args))
         finally:
             set_default_engine(previous_engine)
+        return 0
+    if args.command == "ranks":
+        print(_run_ranks(args))
+        return 0
+    if args.command == "serve":
+        print(_run_serve(args))
         return 0
     print(
         run_experiment(

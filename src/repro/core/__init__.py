@@ -7,7 +7,9 @@ Public entry points
 * :func:`~repro.core.exact_quantile.exact_quantile` — Theorem 1.1: the exact
   φ-quantile in O(log n) rounds.
 * :func:`~repro.core.all_quantiles.estimate_all_ranks` — Corollary 1.5: every
-  node learns its own quantile up to ±ε.
+  node learns its own quantile up to ±ε (one fused multi-lane pass).
+* :class:`~repro.core.service.QuantileService` — the serving layer: one
+  gossip pass, arbitrarily many concurrent quantile queries.
 * :func:`~repro.core.robust.robust_approximate_quantile` — Theorem 1.4:
   the failure-tolerant variant of the approximate algorithm.
 """
@@ -30,7 +32,13 @@ from repro.core.two_tournament import run_two_tournament
 from repro.core.three_tournament import run_three_tournament
 from repro.core.approx_quantile import approximate_quantile, min_supported_eps
 from repro.core.exact_quantile import exact_quantile
-from repro.core.all_quantiles import AllRanksResult, estimate_all_ranks
+from repro.core.all_quantiles import (
+    DEFAULT_MAX_LANES,
+    AllRanksResult,
+    estimate_all_ranks,
+    true_self_quantiles,
+)
+from repro.core.service import QuantileService, QueryAnswer
 from repro.core.tokens import TokenDistributionResult, distribute_tokens
 from repro.core.robust import RobustQuantileResult, robust_approximate_quantile
 
@@ -51,7 +59,11 @@ __all__ = [
     "min_supported_eps",
     "exact_quantile",
     "AllRanksResult",
+    "DEFAULT_MAX_LANES",
     "estimate_all_ranks",
+    "true_self_quantiles",
+    "QuantileService",
+    "QueryAnswer",
     "TokenDistributionResult",
     "distribute_tokens",
     "RobustQuantileResult",

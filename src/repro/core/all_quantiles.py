@@ -4,22 +4,50 @@ Running the ε-approximate quantile algorithm for the grid of targets
 ``phi = eps, 2 eps, 3 eps, ...`` lets every node bracket its own value
 between two returned grid quantiles and hence estimate its own rank up to
 an additive O(ε), in ``(1/eps) * O(log log n + log 1/eps)`` rounds overall.
+
+One-pass execution
+------------------
+The grid is embarrassingly fusable: all ``L = ceil(1/eps) - 1`` targets are
+queries over the *same* value multiset, so they column-stack into a single
+multi-lane :class:`~repro.gossip.network.GossipNetwork` whose lanes run
+their per-target ``(phi, eps)`` schedules on one shared partner stream —
+exactly the machinery the exact-quantile driver uses for its ε/2 sandwich
+pair, applied to the whole grid.  A fused run executes max-of-lanes rounds
+instead of the sequential sum, collapsing the corollary's ``1/eps`` factor
+out of the round count (each message now carries the lanes' working
+values, which the payload-bit accounting charges honestly).  Lanes are
+chunked (``max_lanes``) so the per-round ``(n, k, L)`` gather blocks stay
+memory-bounded at large ``n``; the default keeps a 3-pull round under
+~0.75 KiB per node in float64.
+
+The sequential path (``fused=False``) is retained as the reference
+implementation; its seeded single-lane streams are pinned bit-for-bit in
+``tests/test_engine_equivalence.py``.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Union
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.approx_quantile import approximate_quantile
 from repro.exceptions import ConfigurationError
+from repro.gossip.engine import ENGINE_CHOICES, get_default_engine, set_default_engine
 from repro.gossip.failures import FailureModel
 from repro.gossip.metrics import NetworkMetrics
-from repro.gossip.network import GossipNetwork
+from repro.gossip.network import GossipNetwork, resolve_value_dtype
+from repro.topology.graphs import Topology
 from repro.utils.rand import RandomSource
+
+#: Default lane-chunk width of the fused path.  A 3-pull tournament round
+#: gathers ``(n, 3, L)`` values; at L = 32 lanes of float64 that is 768
+#: bytes per node per round — a full 10⁶-node grid pass stays under ~1 GiB
+#: of transient gather blocks instead of the unchunked grid's L ≈ 1/eps
+#: lanes blowing up memory at fine eps.
+DEFAULT_MAX_LANES = 32
 
 
 @dataclass
@@ -35,7 +63,17 @@ class AllRanksResult:
     grid_values:
         Per-node value estimates for each grid point, shape ``(len(grid), n)``.
     rounds:
-        Total gossip rounds across all grid queries.
+        Gossip rounds executed by this computation (max-of-lanes per chunk
+        on the fused path, sum over grid queries on the sequential path).
+    round_windows:
+        One ``[start, stop)`` round window per tournament run — per lane
+        chunk when fused, per grid query when sequential — in the indices
+        of ``metrics`` (absolute, so attribution survives a caller-supplied
+        metrics object that already carries rounds).
+    fused:
+        Whether the grid executed as chunked multi-lane tournaments.
+    chunks:
+        Number of tournament runs executed (``len(round_windows)``).
     """
 
     quantile_estimates: np.ndarray
@@ -44,10 +82,34 @@ class AllRanksResult:
     rounds: int
     metrics: NetworkMetrics
     eps: float
+    round_windows: List[Tuple[int, int]] = field(default_factory=list)
+    fused: bool = False
+    chunks: int = 0
 
     @property
     def n(self) -> int:
         return self.quantile_estimates.size
+
+
+def rank_grid(eps: float) -> np.ndarray:
+    """The Corollary-1.5 target grid ``eps, 2 eps, ...`` (strictly below 1)."""
+    grid_points = int(math.ceil(1.0 / eps)) - 1
+    grid = np.array([(j + 1) * eps for j in range(grid_points)], dtype=float)
+    return grid[grid < 1.0]
+
+
+def _self_rank_from_grid(
+    array: np.ndarray, grid_values: np.ndarray, eps: float
+) -> np.ndarray:
+    """Midpoint-of-bracket rank estimates from per-node grid estimates.
+
+    Each node counts how many of *its own* grid estimates lie below its
+    value; the midpoint of the implied bracket is its rank estimate.
+    """
+    below = np.zeros(array.size, dtype=float)
+    for row in range(grid_values.shape[0]):
+        below += (grid_values[row] < array).astype(float)
+    return np.clip((below + 0.5) * eps, 0.0, 1.0)
 
 
 def estimate_all_ranks(
@@ -57,6 +119,14 @@ def estimate_all_ranks(
     failure_model: Union[None, float, FailureModel] = None,
     query_accuracy: Optional[float] = None,
     final_samples: int = 15,
+    fused: bool = True,
+    max_lanes: int = DEFAULT_MAX_LANES,
+    topology: Optional[Topology] = None,
+    peer_sampling: str = "uniform",
+    dtype=None,
+    engine: Optional[str] = None,
+    keep_history: bool = False,
+    metrics: Optional[NetworkMetrics] = None,
 ) -> AllRanksResult:
     """Let every node estimate the quantile of its own value up to ~±1.5 eps.
 
@@ -65,11 +135,39 @@ def estimate_all_ranks(
     values:
         One value per node.
     eps:
-        Grid spacing: ``ceil(1/eps) - 1`` approximate quantile computations
-        are performed.  The combined self-rank error is at most
-        ``eps + query_accuracy`` (plus the w.h.p. failure probability).
+        Grid spacing: ``ceil(1/eps) - 1`` grid targets are queried.  The
+        combined self-rank error is at most ``eps + query_accuracy`` (plus
+        the w.h.p. failure probability).
     query_accuracy:
         Accuracy of each individual grid query; defaults to ``eps / 2``.
+    fused:
+        ``True`` (default) column-stacks the grid into multi-lane
+        tournaments — ``ceil(grid / max_lanes)`` runs, each executing
+        max-of-lanes rounds.  ``False`` runs the grid as sequential
+        single-lane queries (the pre-fusion reference; bit-identical
+        streams are pinned in the equivalence suite).
+    max_lanes:
+        Lane-chunk width of the fused path (see :data:`DEFAULT_MAX_LANES`).
+        ``max_lanes=1`` reproduces the sequential estimates exactly under
+        the same seed (one chunk per grid point, same child streams).
+    topology / peer_sampling:
+        Optional gossip topology, forwarded to every underlying network
+        (the complete graph when omitted — the paper's model).
+    dtype:
+        Value dtype for the gossip networks (float64 default, float32
+        opt-in), forwarded like the other drivers' ``dtype=``.
+    engine:
+        Optional engine override (``"auto"``/``"loop"``/``"vectorized"``)
+        applied as the global engine default for the duration of the call —
+        the convention every other driver follows.  The tournament pull
+        surface itself is engine-agnostic (one vectorized gather per
+        round); the override exists for parity and for engine-consulting
+        sub-protocols layered on top.
+    keep_history / metrics:
+        ``keep_history=True`` keeps per-round records on the internal
+        metrics object; alternatively pass an existing ``metrics`` to
+        accumulate into (its ``keep_history`` wins).  ``rounds`` and
+        ``round_windows`` report only this computation's rounds either way.
     """
     if not 0.0 < eps < 0.5:
         raise ConfigurationError("eps must be in (0, 0.5)")
@@ -80,62 +178,156 @@ def estimate_all_ranks(
         query_accuracy = eps / 2.0
     if not 0.0 < query_accuracy < 0.5:
         raise ConfigurationError("query_accuracy must be in (0, 0.5)")
-
+    if max_lanes < 1:
+        raise ConfigurationError("max_lanes must be at least 1")
+    if engine is not None and engine not in ENGINE_CHOICES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {ENGINE_CHOICES}"
+        )
+    resolve_value_dtype(dtype)  # reject unsupported dtypes before any work
     n = array.size
+    if topology is not None and topology.n != n:
+        raise ConfigurationError(
+            f"topology has {topology.n} nodes but values has {n}"
+        )
+
     source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
-    metrics = NetworkMetrics(keep_history=False)
+    if metrics is None:
+        metrics = NetworkMetrics(keep_history=keep_history)
+    rounds_before = metrics.rounds
+    grid = rank_grid(eps)
 
-    grid_points = int(math.ceil(1.0 / eps)) - 1
-    grid = np.array([(j + 1) * eps for j in range(grid_points)], dtype=float)
-    grid = grid[grid < 1.0]
+    previous_engine = get_default_engine()
+    if engine is not None:
+        set_default_engine(engine)
+    try:
+        if fused:
+            grid_values, windows = _run_fused(
+                array, grid, query_accuracy, final_samples, source,
+                failure_model, metrics, max_lanes, topology, peer_sampling,
+                dtype,
+            )
+        else:
+            grid_values, windows = _run_sequential(
+                array, grid, query_accuracy, final_samples, source,
+                failure_model, metrics, topology, peer_sampling, dtype,
+            )
+    finally:
+        if engine is not None:
+            set_default_engine(previous_engine)
 
-    per_grid_estimates: List[np.ndarray] = []
+    quantile_estimates = _self_rank_from_grid(array, grid_values, eps)
+    return AllRanksResult(
+        quantile_estimates=quantile_estimates,
+        grid=grid,
+        grid_values=grid_values,
+        rounds=metrics.rounds - rounds_before,
+        metrics=metrics,
+        eps=eps,
+        round_windows=windows,
+        fused=fused,
+        chunks=len(windows),
+    )
+
+
+def _run_fused(
+    array, grid, query_accuracy, final_samples, source, failure_model,
+    metrics, max_lanes, topology, peer_sampling, dtype,
+) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+    """Chunked multi-lane execution: one tournament per ``max_lanes`` targets."""
+    n = array.size
+    per_grid: List[np.ndarray] = []
+    windows: List[Tuple[int, int]] = []
+    for start in range(0, grid.size, max_lanes):
+        chunk = grid[start:start + max_lanes]
+        lanes = chunk.size
+        # Every lane starts from the same value multiset; the network copies
+        # the broadcast view into its own (n, lanes) matrix.
+        stacked = np.broadcast_to(array[:, None], (n, lanes))
+        network = GossipNetwork(
+            stacked,
+            rng=source.child(),
+            failure_model=failure_model,
+            metrics=metrics,
+            topology=topology,
+            peer_sampling=peer_sampling,
+            dtype=dtype,
+        )
+        window_start = metrics.rounds
+        result = approximate_quantile(
+            network=network,
+            phi=[float(phi) for phi in chunk],
+            eps=query_accuracy,
+            final_samples=final_samples,
+        )
+        windows.append((window_start, metrics.rounds))
+        per_grid.append(np.asarray(result.estimates).T)  # (lanes, n)
+    grid_values = (
+        np.vstack(per_grid) if per_grid else np.empty((0, n), dtype=float)
+    )
+    return grid_values, windows
+
+
+def _run_sequential(
+    array, grid, query_accuracy, final_samples, source, failure_model,
+    metrics, topology, peer_sampling, dtype,
+) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+    """The pre-fusion reference: one single-lane tournament per grid target.
+
+    With default topology/dtype this consumes exactly the historical child
+    streams, so seeded runs stay bit-identical to the PR-5 tree (pinned).
+    """
+    n = array.size
+    per_grid: List[np.ndarray] = []
+    windows: List[Tuple[int, int]] = []
     for phi in grid:
         network = GossipNetwork(
             array,
             rng=source.child(),
             failure_model=failure_model,
             metrics=metrics,
-            keep_history=False,
+            topology=topology,
+            peer_sampling=peer_sampling,
+            dtype=dtype,
         )
+        window_start = metrics.rounds
         result = approximate_quantile(
             network=network,
             phi=float(phi),
             eps=query_accuracy,
             final_samples=final_samples,
         )
-        per_grid_estimates.append(result.estimates)
-
+        windows.append((window_start, metrics.rounds))
+        per_grid.append(result.estimates)
     grid_values = (
-        np.vstack(per_grid_estimates)
-        if per_grid_estimates
-        else np.empty((0, n), dtype=float)
+        np.vstack(per_grid) if per_grid else np.empty((0, n), dtype=float)
     )
-
-    # Each node counts how many of *its own* grid estimates lie below its
-    # value; the midpoint of the implied bracket is its rank estimate.
-    below = np.zeros(n, dtype=float)
-    for row in range(grid_values.shape[0]):
-        below += (grid_values[row] < array).astype(float)
-    quantile_estimates = np.clip((below + 0.5) * eps, 0.0, 1.0)
-
-    return AllRanksResult(
-        quantile_estimates=quantile_estimates,
-        grid=grid,
-        grid_values=grid_values,
-        rounds=metrics.rounds,
-        metrics=metrics,
-        eps=eps,
-    )
+    return grid_values, windows
 
 
 def true_self_quantiles(values: Union[np.ndarray, list, tuple]) -> np.ndarray:
-    """The exact quantile of every node's own value (for error measurement)."""
+    """The exact quantile of every node's own value (for error measurement).
+
+    Ties get the *average* (mid) rank of their group: gossip hands equal
+    values equal grid estimates, so giving duplicates distinct index-ordered
+    ranks (the pre-PR-6 behaviour) charged the estimator up to
+    ``(multiplicity - 1) / n`` of phantom error on duplicate-heavy
+    workloads — half the heaviest Zipf bucket, regardless of eps.
+    """
     array = np.asarray(values, dtype=float)
     if array.ndim != 1 or array.size == 0:
         raise ConfigurationError("values must be a non-empty 1-d array")
     n = array.size
     order = np.argsort(array, kind="stable")
+    ordered = array[order]
+    is_group_start = np.empty(n, dtype=bool)
+    is_group_start[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=is_group_start[1:])
+    group_start = np.flatnonzero(is_group_start)
+    group_stop = np.append(group_start[1:], n)
+    # ranks within a tie group spanning sorted positions [start, stop) are
+    # start+1 .. stop; their average is (start + 1 + stop) / 2.
+    midranks = (group_start + 1 + group_stop) / 2.0
     ranks = np.empty(n, dtype=float)
-    ranks[order] = np.arange(1, n + 1, dtype=float)
+    ranks[order] = np.repeat(midranks, group_stop - group_start)
     return ranks / n

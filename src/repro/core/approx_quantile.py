@@ -63,6 +63,7 @@ def approximate_quantile(
     topology=None,
     peer_sampling: str = "uniform",
     dtype=None,
+    keep_history: bool = False,
 ) -> ApproxQuantileResult:
     """Compute an ε-approximate φ-quantile with uniform gossip.
 
@@ -103,6 +104,11 @@ def approximate_quantile(
     dtype:
         Value dtype for the constructed network (float64 default, float32
         opt-in); ignored when an existing ``network`` is passed.
+    keep_history:
+        Keep per-round records on the constructed network's metrics object
+        (previously hardcoded off, which silently discarded round
+        attribution whenever no explicit ``metrics`` was supplied).  Only
+        valid when the network is constructed here.
 
     Returns
     -------
@@ -119,13 +125,18 @@ def approximate_quantile(
             rng=rng,
             failure_model=failure_model,
             metrics=metrics,
-            keep_history=False,
+            keep_history=keep_history,
             topology=topology,
             peer_sampling=peer_sampling,
             dtype=dtype,
         )
     elif values is not None:
         raise ConfigurationError("pass either values or network, not both")
+    elif keep_history:
+        raise ConfigurationError(
+            "keep_history applies to the constructed network; configure the "
+            "supplied network (or its metrics object) instead"
+        )
     elif topology is not None or peer_sampling != "uniform":
         raise ConfigurationError(
             "pass topology/peer_sampling to the GossipNetwork constructor "

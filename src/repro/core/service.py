@@ -1,0 +1,305 @@
+"""The quantile-serving layer: one gossip pass, arbitrarily many queries.
+
+Corollary 1.5's fused grid (:func:`~repro.core.all_quantiles.estimate_all_ranks`)
+computes an ε-spaced ladder of quantile estimates in max-of-lanes rounds.
+A :class:`QuantileService` performs that pass once and then answers any
+number of concurrent φ-quantile (and rank-of-value) queries from the grid
+bracket — cost grows with *rounds* only at build time; serving a query is
+a single answer message whose payload bits are accounted per query through
+:meth:`~repro.gossip.metrics.NetworkMetrics.record_query`.  This is the
+"millions of users" shape: 10⁶ queries against one pass cost the same
+gossip rounds as one query.
+
+Ad-hoc φ targets finer than the ε-grid can optionally be served from the
+in-repo mergeable KLL sketch (:mod:`repro.sketches.kll`): pass
+``sketch_k`` and queries whose grid bracket is coarser than the sketch's
+rank-error bound are answered from the sketch instead (the
+composable-aggregation style of the histogrammar line of work).  Building
+the sketch is a per-item stream fold — opt-in, priced at its
+``message_bits()`` once, and independent of the gossip round count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.all_quantiles import (
+    DEFAULT_MAX_LANES,
+    AllRanksResult,
+    estimate_all_ranks,
+)
+from repro.exceptions import ConfigurationError
+from repro.gossip.failures import FailureModel
+from repro.gossip.messages import BITS_HEADER, BITS_PER_VALUE
+from repro.gossip.metrics import NetworkMetrics
+from repro.sketches.kll import KLLSketch
+from repro.topology.graphs import Topology
+from repro.utils.rand import RandomSource
+
+#: Payload bits of one answered query: the value plus framing.
+ANSWER_BITS = BITS_HEADER + BITS_PER_VALUE
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One answered φ-quantile query.
+
+    Attributes
+    ----------
+    phi:
+        The requested quantile.
+    value:
+        The served estimate.
+    source:
+        ``"grid"`` (nearest fused grid lane) or ``"sketch"`` (KLL refinement
+        for φ finer than the grid).
+    accuracy:
+        Additive rank-accuracy bound of the answer: grid distance plus the
+        per-lane query accuracy for grid answers, the sketch's rank-error
+        bound for sketch answers.
+    grid_index:
+        Index of the serving grid lane (grid answers only).
+    """
+
+    phi: float
+    value: float
+    source: str
+    accuracy: float
+    grid_index: Optional[int] = None
+
+
+class QuantileService:
+    """Serve arbitrary quantile queries from a single fused gossip pass.
+
+    Parameters
+    ----------
+    values:
+        One value per node.
+    eps:
+        Grid spacing of the underlying all-quantiles pass: answers from the
+        grid carry at most ``eps / 2 + query_accuracy`` rank error inside
+        the grid's coverage.
+    fused / max_lanes / topology / peer_sampling / dtype / engine /
+    failure_model / query_accuracy / final_samples / keep_history:
+        Forwarded to :func:`~repro.core.all_quantiles.estimate_all_ranks`.
+    sketch_k:
+        Optional KLL compactor capacity.  When given, a mergeable sketch of
+        the value stream is folded at build time and queries whose grid
+        bracket is coarser than the sketch's rank-error bound (~``3 / k``)
+        are answered from it.
+    """
+
+    def __init__(
+        self,
+        values: Union[np.ndarray, list, tuple],
+        eps: float = 0.1,
+        rng: Union[None, int, RandomSource] = None,
+        failure_model: Union[None, float, FailureModel] = None,
+        query_accuracy: Optional[float] = None,
+        final_samples: int = 15,
+        fused: bool = True,
+        max_lanes: int = DEFAULT_MAX_LANES,
+        topology: Optional[Topology] = None,
+        peer_sampling: str = "uniform",
+        dtype=None,
+        engine: Optional[str] = None,
+        keep_history: bool = False,
+        sketch_k: Optional[int] = None,
+    ) -> None:
+        source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+        self._array = np.asarray(values, dtype=float)
+        self._result = estimate_all_ranks(
+            self._array,
+            eps=eps,
+            rng=source.child(),
+            failure_model=failure_model,
+            query_accuracy=query_accuracy,
+            final_samples=final_samples,
+            fused=fused,
+            max_lanes=max_lanes,
+            topology=topology,
+            peer_sampling=peer_sampling,
+            dtype=dtype,
+            engine=engine,
+            keep_history=keep_history,
+        )
+        self._eps = float(eps)
+        self._query_accuracy = (
+            eps / 2.0 if query_accuracy is None else float(query_accuracy)
+        )
+        # One representative served value per grid lane: the median of the
+        # per-node lane outputs (all nodes agree up to the ε guarantee, so
+        # the median is a w.h.p.-correct network-level answer).
+        grid_values = self._result.grid_values
+        answers = np.empty(grid_values.shape[0], dtype=float)
+        for row in range(grid_values.shape[0]):
+            lane = grid_values[row]
+            finite = lane[np.isfinite(lane)]
+            answers[row] = float(np.median(finite)) if finite.size else float("nan")
+        self._grid_answers = answers
+
+        self._sketch: Optional[KLLSketch] = None
+        if sketch_k is not None:
+            sketch = KLLSketch(k=sketch_k, rng=source.child())
+            sketch.extend(float(value) for value in self._array)
+            self._sketch = sketch
+
+        self.query_metrics = NetworkMetrics(keep_history=False)
+
+    # -- build-time facts ---------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._array.size
+
+    @property
+    def eps(self) -> float:
+        return self._eps
+
+    @property
+    def grid(self) -> np.ndarray:
+        """The served grid of quantile targets."""
+        return self._result.grid
+
+    @property
+    def grid_answers(self) -> np.ndarray:
+        """The representative served value per grid target."""
+        return self._grid_answers
+
+    @property
+    def rounds(self) -> int:
+        """Gossip rounds of the build pass — fixed, query-count independent."""
+        return self._result.rounds
+
+    @property
+    def gossip_metrics(self) -> NetworkMetrics:
+        """Round/message/bit accounting of the build pass."""
+        return self._result.metrics
+
+    @property
+    def result(self) -> AllRanksResult:
+        """The underlying all-quantiles pass result."""
+        return self._result
+
+    @property
+    def sketch(self) -> Optional[KLLSketch]:
+        return self._sketch
+
+    @property
+    def queries_answered(self) -> int:
+        return self.query_metrics.queries
+
+    def sketch_accuracy(self) -> Optional[float]:
+        """The sketch's additive rank-error bound as a fraction, if attached."""
+        if self._sketch is None or self._sketch.count == 0:
+            return None
+        return self._sketch.error_bound() / float(self._sketch.count)
+
+    # -- the serving surface ------------------------------------------------------
+    def quantile(self, phi: float, prefer: str = "auto") -> QueryAnswer:
+        """Answer one φ-quantile query (no gossip; one accounted message).
+
+        ``prefer`` selects the backing store: ``"grid"`` forces the fused
+        grid bracket, ``"sketch"`` forces the KLL sketch (error if none is
+        attached), ``"auto"`` (default) serves from whichever carries the
+        tighter rank-accuracy bound for this φ.
+        """
+        if not 0.0 <= phi <= 1.0:
+            raise ConfigurationError("phi must be in [0, 1]")
+        if prefer not in ("auto", "grid", "sketch"):
+            raise ConfigurationError(
+                f"unknown answer source {prefer!r}; choose auto, grid or sketch"
+            )
+        if prefer == "sketch" and self._sketch is None:
+            raise ConfigurationError(
+                "no sketch attached; construct the service with sketch_k"
+            )
+        grid_answer = self._grid_bracket(phi)
+        sketch_bound = self.sketch_accuracy()
+        use_sketch = prefer == "sketch" or (
+            prefer == "auto"
+            and sketch_bound is not None
+            and (grid_answer is None or sketch_bound < grid_answer.accuracy)
+        )
+        if use_sketch:
+            answer = QueryAnswer(
+                phi=float(phi),
+                value=float(self._sketch.query(phi)),
+                source="sketch",
+                accuracy=float(sketch_bound),
+            )
+        elif grid_answer is not None:
+            answer = grid_answer
+        else:
+            raise ConfigurationError(
+                "the grid is empty and no sketch is attached; nothing can "
+                "serve this query"
+            )
+        self.query_metrics.record_query(ANSWER_BITS)
+        return answer
+
+    def batch_quantiles(
+        self, phis: Sequence[float], prefer: str = "auto"
+    ) -> List[QueryAnswer]:
+        """Answer many concurrent φ queries — zero additional gossip rounds."""
+        return [self.quantile(phi, prefer=prefer) for phi in phis]
+
+    def rank_of(self, value: float) -> QueryAnswer:
+        """Estimate the quantile (rank / n) of an arbitrary value.
+
+        Uses the Corollary-1.5 bracket: the midpoint implied by how many
+        grid answers lie below ``value``, accurate to ``eps`` plus the
+        per-lane query accuracy.
+        """
+        below = int(np.count_nonzero(self._grid_answers < float(value)))
+        estimate = float(np.clip((below + 0.5) * self._eps, 0.0, 1.0))
+        answer = QueryAnswer(
+            phi=estimate,
+            value=float(value),
+            source="grid",
+            accuracy=self._eps + self._query_accuracy,
+        )
+        self.query_metrics.record_query(ANSWER_BITS)
+        return answer
+
+    def self_quantiles(self) -> np.ndarray:
+        """Every node's own-rank estimate from the build pass (no message)."""
+        return self._result.quantile_estimates
+
+    def _grid_bracket(self, phi: float) -> Optional[QueryAnswer]:
+        grid = self._result.grid
+        if grid.size == 0:
+            return None
+        index = int(np.argmin(np.abs(grid - phi)))
+        distance = float(abs(grid[index] - phi))
+        return QueryAnswer(
+            phi=float(phi),
+            value=float(self._grid_answers[index]),
+            source="grid",
+            accuracy=distance + self._query_accuracy,
+            grid_index=index,
+        )
+
+    def summary(self) -> dict:
+        """Flat build/serve accounting, convenient for the CLI and tests."""
+        return {
+            "n": self.n,
+            "eps": self._eps,
+            "grid_targets": int(self._result.grid.size),
+            "chunks": self._result.chunks,
+            "fused": self._result.fused,
+            "rounds": self.rounds,
+            "gossip_bits": self.gossip_metrics.total_bits,
+            "queries_answered": self.queries_answered,
+            "query_bits": self.query_metrics.total_bits,
+            "sketch_items": self._sketch.size if self._sketch else 0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantileService(n={self.n}, eps={self._eps}, "
+            f"grid={self._result.grid.size}, rounds={self.rounds}, "
+            f"queries={self.queries_answered})"
+        )

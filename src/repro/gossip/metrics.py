@@ -41,6 +41,7 @@ class NetworkMetrics:
     total_bits: int = 0
     max_message_bits: int = 0
     failed_node_rounds: int = 0
+    queries: int = 0
     history: List[RoundRecord] = field(default_factory=list)
     keep_history: bool = True
 
@@ -139,6 +140,24 @@ class NetworkMetrics:
             raise ValueError(f"{what} must be non-negative")
         return values
 
+    def record_query(self, bits: int, count: int = 1) -> None:
+        """Record ``count`` answered quantile queries of ``bits`` payload each.
+
+        Queries are the serving layer's unit of work: each one ships an
+        answer message but consumes *no* gossip round — the whole point of
+        the one-pass construction is that round cost is fixed while query
+        cost grows only in payload bits.  Totals land in ``messages`` /
+        ``total_bits`` so rounds-vs-bandwidth comparisons stay honest, and
+        the separate ``queries`` counter keeps them attributable.
+        """
+        if count < 0 or bits < 0:
+            raise ValueError("counts and bits must be non-negative")
+        self.queries += count
+        self.messages += count
+        self.total_bits += count * bits
+        if count and bits > self.max_message_bits:
+            self.max_message_bits = bits
+
     def record_failures(self, count: int, record: Optional[RoundRecord] = None) -> None:
         if count < 0:
             raise ValueError("count must be non-negative")
@@ -166,6 +185,7 @@ class NetworkMetrics:
         self.messages += other.messages
         self.total_bits += other.total_bits
         self.failed_node_rounds += other.failed_node_rounds
+        self.queries += other.queries
         if other.max_message_bits > self.max_message_bits:
             self.max_message_bits = other.max_message_bits
         if self.keep_history:

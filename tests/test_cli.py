@@ -199,3 +199,77 @@ def test_exact_scale_experiment_accepts_dtype_axis(capsys):
 def test_experiment_without_dtype_axis_rejects_dtype():
     with pytest.raises(ConfigurationError):
         main(["schedules", "--sizes", "256", "--dtype", "float32"])
+
+
+def test_ranks_command(tmp_path, capsys):
+    values = np.arange(1.0, 257.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    assert main(["ranks", "--input", str(path), "--eps", "0.2", "--seed", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "self-rank estimates for n=256" in out
+    assert "4 grid targets in 1 fused tournament run(s)" in out
+    assert "error mean=" in out
+
+
+def test_ranks_sequential_mode_runs_one_pass_per_target(tmp_path, capsys):
+    values = np.arange(1.0, 257.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    assert main(["ranks", "--input", str(path), "--eps", "0.2", "--seed", "4",
+                 "--sequential"]) == 0
+    out = capsys.readouterr().out
+    assert "4 grid targets in 4 sequential tournament run(s)" in out
+
+
+def test_ranks_on_topology_with_dtype_and_engine(tmp_path, capsys):
+    values = np.arange(1.0, 257.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    assert main(["ranks", "--input", str(path), "--eps", "0.2", "--seed", "4",
+                 "--topology", "small-world", "--degree", "8",
+                 "--rewire-p", "0.2", "--dtype", "float32",
+                 "--engine", "vectorized"]) == 0
+    out = capsys.readouterr().out
+    assert "on small-world" in out
+
+
+def test_ranks_rejects_degree_without_topology(tmp_path):
+    values = np.arange(1.0, 257.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    with pytest.raises(ConfigurationError, match="--degree"):
+        main(["ranks", "--input", str(path), "--eps", "0.2", "--degree", "8"])
+
+
+def test_serve_command_answers_queries(tmp_path, capsys):
+    values = np.arange(1.0, 257.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    assert main(["serve", "--input", str(path), "--eps", "0.1", "--seed", "4",
+                 "--phi", "0.25", "0.5", "0.9"]) == 0
+    out = capsys.readouterr().out
+    assert "phi=0.25 ->" in out
+    assert "phi=0.5 ->" in out
+    assert "phi=0.9 ->" in out
+    assert "served 3 queries" in out
+    assert "zero additional rounds" in out
+
+
+def test_serve_command_with_sketch(tmp_path, capsys):
+    values = np.arange(1.0, 257.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    assert main(["serve", "--input", str(path), "--eps", "0.25", "--seed", "4",
+                 "--phi", "0.37", "--sketch-k", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "(sketch, rank accuracy" in out
+
+
+def test_serve_rejects_rewire_p_on_mismatched_topology(tmp_path):
+    values = np.arange(1.0, 257.0)
+    path = tmp_path / "values.txt"
+    np.savetxt(path, values)
+    with pytest.raises(ConfigurationError, match="--rewire-p"):
+        main(["serve", "--input", str(path), "--phi", "0.5",
+              "--topology", "ring", "--rewire-p", "0.2"])

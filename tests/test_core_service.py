@@ -1,0 +1,181 @@
+"""Tests for the quantile-serving layer (one gossip pass, many queries)."""
+
+import numpy as np
+import pytest
+
+from repro.core.service import ANSWER_BITS, QuantileService, QueryAnswer
+from repro.exceptions import ConfigurationError
+from repro.topology import ring
+from repro.utils.rand import RandomSource
+
+
+@pytest.fixture
+def service(small_values) -> QuantileService:
+    return QuantileService(small_values, eps=0.1, rng=3)
+
+
+def _true_quantile(values: np.ndarray, phi: float) -> float:
+    return float(np.quantile(values, phi))
+
+
+def test_build_runs_one_fused_pass(service, small_values):
+    assert service.n == small_values.size
+    assert service.result.fused
+    assert service.grid.size == 9
+    assert service.rounds == service.gossip_metrics.rounds
+    assert service.grid_answers.shape == (9,)
+    # grid answers are real data values in increasing quantile order
+    assert np.all(np.isfinite(service.grid_answers))
+    assert np.all(np.diff(service.grid_answers) >= 0)
+
+
+def test_grid_answers_track_true_quantiles(service, small_values):
+    for index, phi in enumerate(service.grid):
+        target = _true_quantile(small_values, float(phi))
+        # values are the permutation of 1..256: 0.2 of rank space ≈ 51 values
+        assert abs(service.grid_answers[index] - target) <= 0.2 * small_values.size
+
+
+def test_quantile_query_serves_from_grid(service, small_values):
+    answer = service.quantile(0.5)
+    assert isinstance(answer, QueryAnswer)
+    assert answer.source == "grid"
+    assert answer.grid_index == 4
+    assert answer.phi == 0.5
+    assert abs(answer.value - _true_quantile(small_values, 0.5)) <= (
+        0.2 * small_values.size
+    )
+    # on-grid φ: accuracy is just the per-lane query accuracy (eps/2 default)
+    assert answer.accuracy == pytest.approx(0.05)
+
+
+def test_off_grid_phi_widens_the_accuracy_bound(service):
+    on_grid = service.quantile(0.3)
+    off_grid = service.quantile(0.33)
+    assert off_grid.grid_index == on_grid.grid_index  # nearest lane serves
+    assert off_grid.accuracy == pytest.approx(on_grid.accuracy + 0.03)
+
+
+def test_queries_cost_bits_not_rounds(service):
+    rounds_before = service.rounds
+    answers = service.batch_quantiles([0.1, 0.25, 0.5, 0.75, 0.9])
+    assert len(answers) == 5
+    assert service.rounds == rounds_before  # zero additional gossip
+    assert service.queries_answered == 5
+    assert service.query_metrics.messages == 5
+    assert service.query_metrics.total_bits == 5 * ANSWER_BITS
+    assert service.query_metrics.rounds == 0
+    # the build pass accounting is untouched by serving
+    assert service.gossip_metrics.queries == 0
+
+
+def test_rank_of_inverts_the_grid(service, small_values):
+    # small_values is a permutation of 1..256, so value v has rank v/256
+    for value, expected in [(64.0, 0.25), (128.0, 0.5), (230.0, 0.9)]:
+        answer = service.rank_of(value)
+        assert answer.source == "grid"
+        assert abs(answer.phi - expected) <= answer.accuracy
+        assert answer.accuracy == pytest.approx(0.1 + 0.05)
+    assert service.queries_answered == 3
+
+
+def test_rank_of_clips_to_unit_interval(service):
+    assert service.rank_of(-1e9).phi >= 0.0
+    assert service.rank_of(1e9).phi <= 1.0
+
+
+def test_self_quantiles_come_from_the_build_pass(service, small_values):
+    estimates = service.self_quantiles()
+    truth = np.argsort(np.argsort(small_values)) / small_values.size
+    errors = np.abs(estimates - truth)
+    assert float(np.mean(errors <= 0.2)) > 0.95
+    assert service.queries_answered == 0  # reading estimates is free
+
+
+def test_sketch_serves_phi_finer_than_grid(small_values):
+    service = QuantileService(small_values, eps=0.25, rng=5, sketch_k=200)
+    bound = service.sketch_accuracy()
+    assert bound is not None and bound < 0.125  # tighter than eps/2
+    # auto prefers the sketch once its bound beats the grid bracket
+    answer = service.quantile(0.37)
+    assert answer.source == "sketch"
+    assert answer.accuracy == pytest.approx(bound)
+    # forcing the grid still works
+    forced = service.quantile(0.37, prefer="grid")
+    assert forced.source == "grid"
+    assert service.queries_answered == 2
+
+
+def test_sketch_answers_are_accurate(small_values):
+    service = QuantileService(small_values, eps=0.25, rng=6, sketch_k=200)
+    for phi in (0.1, 0.37, 0.62, 0.9):
+        answer = service.quantile(phi, prefer="sketch")
+        target = _true_quantile(small_values, phi)
+        assert abs(answer.value - target) <= 0.1 * small_values.size
+
+
+def test_prefer_sketch_without_sketch_is_an_error(service):
+    with pytest.raises(ConfigurationError):
+        service.quantile(0.5, prefer="sketch")
+
+
+def test_query_validation(service):
+    with pytest.raises(ConfigurationError):
+        service.quantile(1.5)
+    with pytest.raises(ConfigurationError):
+        service.quantile(0.5, prefer="oracle")
+
+
+def test_summary_keys(service):
+    service.quantile(0.5)
+    summary = service.summary()
+    assert summary == {
+        "n": 256,
+        "eps": 0.1,
+        "grid_targets": 9,
+        "chunks": 1,
+        "fused": True,
+        "rounds": service.rounds,
+        "gossip_bits": service.gossip_metrics.total_bits,
+        "queries_answered": 1,
+        "query_bits": ANSWER_BITS,
+        "sketch_items": 0,
+    }
+
+
+def test_service_threads_build_parameters(small_values):
+    service = QuantileService(
+        small_values,
+        eps=0.2,
+        rng=7,
+        fused=True,
+        max_lanes=2,
+        topology=ring(small_values.size, k=8),
+        dtype="float32",
+        engine="vectorized",
+    )
+    assert service.result.chunks == 2
+    assert service.result.grid_values.dtype == np.float32
+    answer = service.quantile(0.5)
+    assert np.isfinite(answer.value)
+
+
+def test_service_rejects_bad_build_parameters(small_values):
+    with pytest.raises(ConfigurationError):
+        QuantileService(small_values, eps=0.2, rng=8, engine="turbo")
+    with pytest.raises(ConfigurationError):
+        QuantileService(small_values, eps=0.2, rng=8, topology=ring(32, k=2))
+
+
+def test_sequential_build_serves_identically_shaped_answers(small_values):
+    service = QuantileService(small_values, eps=0.2, rng=9, fused=False)
+    assert not service.result.fused
+    answer = service.quantile(0.4)
+    assert answer.source == "grid"
+    assert np.isfinite(answer.value)
+
+
+def test_deterministic_given_seed(small_values):
+    first = QuantileService(small_values, eps=0.2, rng=RandomSource(11))
+    second = QuantileService(small_values, eps=0.2, rng=RandomSource(11))
+    assert np.array_equal(first.grid_answers, second.grid_answers)

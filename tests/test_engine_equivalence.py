@@ -301,3 +301,79 @@ def test_single_lane_approximate_quantile_pinned_to_pre_multilane_tree():
     )
     assert _digest(failed.estimates) == SINGLE_LANE_PINS["approx_fail"]
     assert failed.rounds == 38
+
+
+# ---- one-pass all-quantiles (PR 6) ------------------------------------------
+
+#: Sequential self-rank grid digests captured on the PR 5 tree, before the
+#: fused rewrite: digest(quantile_estimates, grid_values) plus total rounds.
+ALL_RANKS_SEQUENTIAL_PINS = {
+    # estimate_all_ranks(_pin_values(), eps=0.2, rng=9, fused=False)
+    "eps_0.2_rng_9": ("59043aafe49dd809", 156),
+    # estimate_all_ranks(_pin_values(), eps=0.1, rng=10, query_accuracy=0.08,
+    #                    fused=False)
+    "eps_0.1_rng_10_qa_0.08": ("79d60d7bcca8279b", 381),
+}
+
+
+def test_sequential_all_ranks_pinned_to_pre_fusion_tree():
+    """The fused=False reference path must keep consuming the per-target
+    child streams exactly as the PR 5 single-lane loop did."""
+    from repro.core.all_quantiles import estimate_all_ranks
+
+    result = estimate_all_ranks(_pin_values(), eps=0.2, rng=9, fused=False)
+    assert (
+        _digest(result.quantile_estimates, result.grid_values),
+        result.rounds,
+    ) == ALL_RANKS_SEQUENTIAL_PINS["eps_0.2_rng_9"]
+
+    result = estimate_all_ranks(
+        _pin_values(), eps=0.1, rng=10, query_accuracy=0.08, fused=False
+    )
+    assert (
+        _digest(result.quantile_estimates, result.grid_values),
+        result.rounds,
+    ) == ALL_RANKS_SEQUENTIAL_PINS["eps_0.1_rng_10_qa_0.08"]
+
+
+def test_fused_single_lane_float64_bit_identical_to_sequential_pin():
+    """L = 1 lane chunks drive the very same GossipNetwork streams, so the
+    fused path at max_lanes=1 must land on the sequential pin bit-for-bit."""
+    from repro.core.all_quantiles import estimate_all_ranks
+
+    result = estimate_all_ranks(
+        _pin_values(), eps=0.2, rng=9, fused=True, max_lanes=1
+    )
+    assert result.grid_values.dtype == np.float64
+    assert (
+        _digest(result.quantile_estimates, result.grid_values),
+        result.rounds,
+    ) == ALL_RANKS_SEQUENTIAL_PINS["eps_0.2_rng_9"]
+
+
+@pytest.mark.parametrize("n", [256, 4096])
+def test_fused_and_sequential_grids_agree_within_tolerance(n):
+    """Fused lanes share one partner stream, so estimates differ from the
+    sequential reference only by in-tolerance tournament noise — and the
+    fused round count is max-of-lanes, never more than the sequential sum."""
+    from repro.core.all_quantiles import (
+        estimate_all_ranks,
+        true_self_quantiles,
+    )
+
+    values = RandomSource(100 + n).random(n) * 1000.0
+    eps = 0.1
+    truth = true_self_quantiles(values)
+    fused = estimate_all_ranks(values, eps=eps, rng=41)
+    sequential = estimate_all_ranks(values, eps=eps, rng=41, fused=False)
+
+    for result in (fused, sequential):
+        errors = np.abs(result.quantile_estimates - truth)
+        assert float(np.mean(errors <= 2 * eps)) > 0.95
+        assert float(errors.mean()) < eps
+    # both execution modes agree with each other within the combined bound
+    gap = np.abs(fused.quantile_estimates - sequential.quantile_estimates)
+    assert float(np.mean(gap <= 2 * eps)) > 0.95
+    # rounds: max-of-lanes <= sum-over-grid, strictly so for a 9-wide grid
+    assert fused.rounds <= sequential.rounds
+    assert fused.rounds < sequential.rounds

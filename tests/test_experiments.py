@@ -81,8 +81,16 @@ def test_robustness_rows():
 
 def test_self_rank_rows():
     rows = self_rank.run(workloads=("distinct",), sizes=(256,), eps_values=(0.2,), seed=5)
-    assert len(rows) == 1
-    assert rows[0]["fraction_within_2eps"] > 0.9
+    # one row per execution mode of the same (workload, n, eps) cell
+    assert [row["mode"] for row in rows] == ["fused", "sequential"]
+    by_mode = {row["mode"]: row for row in rows}
+    for row in rows:
+        assert row["fraction_within_2eps"] > 0.9
+        assert row["grid_queries"] == 4
+    # the fused pass runs one lane-chunk, max-of-lanes rounds
+    assert by_mode["fused"]["chunks"] == 1
+    assert by_mode["sequential"]["chunks"] == 4
+    assert by_mode["fused"]["rounds"] < by_mode["sequential"]["rounds"]
 
 
 def test_schedule_validation_rows():

@@ -104,3 +104,39 @@ def test_round_record_merge_message():
     assert record.messages == 2
     assert record.bits == 150
     assert record.max_message_bits == 100
+
+
+def test_record_query_charges_bits_not_rounds():
+    metrics = NetworkMetrics()
+    metrics.record_query(96)
+    metrics.record_query(96, count=4)
+    assert metrics.queries == 5
+    assert metrics.messages == 5
+    assert metrics.total_bits == 5 * 96
+    assert metrics.max_message_bits == 96
+    assert metrics.rounds == 0
+    # summary stays pinned to the five round-level keys
+    assert set(metrics.summary()) == {
+        "rounds",
+        "messages",
+        "total_bits",
+        "max_message_bits",
+        "failed_node_rounds",
+    }
+
+
+def test_record_query_validation():
+    metrics = NetworkMetrics()
+    with pytest.raises(ValueError):
+        metrics.record_query(-1)
+    with pytest.raises(ValueError):
+        metrics.record_query(8, count=-1)
+
+
+def test_merge_folds_query_counts():
+    a, b = NetworkMetrics(), NetworkMetrics()
+    a.record_query(64, count=2)
+    b.record_query(64, count=3)
+    a.merge(b)
+    assert a.queries == 5
+    assert a.messages == 5
