@@ -63,6 +63,13 @@ IGNORED = (
     "mean_error",
     "p95_error",
     "fraction_within_2eps",
+    # bench_obs diagnostics: machine-dependent instrumentation counts and
+    # timings.  The gated overhead metrics are the slowdown* columns.
+    "spans",
+    "events",
+    "hook_rounds",
+    "null_span_ns",
+    "projected_overhead_frac",
 )
 
 

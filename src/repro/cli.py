@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -40,7 +41,31 @@ from repro.core.service import QuantileService
 from repro.experiments.churn_sweep import FAILURE_CHOICES
 from repro.experiments.runner import REGISTRY, run_experiment
 from repro.gossip.engine import ENGINE_CHOICES, get_default_engine, set_default_engine
+from repro.obs import (
+    Tracer,
+    render_profile,
+    render_prometheus,
+    use_tracer,
+    write_trace_jsonl,
+)
 from repro.topology import TOPOLOGY_CHOICES, build_topology, validate_topology_flags
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the run-something subcommands."""
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a JSON-lines span/event/round trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a hierarchical span profile (wall time, rounds, "
+             "messages, payload bits) after the run",
+    )
+    parser.add_argument(
+        "--prom", default=None, metavar="FILE",
+        help="write Prometheus-text-format metrics of the run to FILE",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -104,6 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
             help="gossip value dtypes to sweep (experiments with a dtype "
                  "axis only; float32 halves the hot-path memory traffic)",
         )
+        _add_obs_flags(exp)
 
     query = sub.add_parser("query", help="compute a quantile of a value file via gossip")
     query.add_argument("--input", required=True, help="text file with one value per line")
@@ -137,6 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "simulator's memory traffic — the exact algorithm's rank keys "
              "stay exact below 2^24 nodes)",
     )
+    _add_obs_flags(query)
 
     ranks = sub.add_parser(
         "ranks",
@@ -194,6 +221,7 @@ def _build_parser() -> argparse.ArgumentParser:
             help="lane-chunk width of the fused pass (memory bound on the "
                  "per-round gather blocks)",
         )
+        _add_obs_flags(command)
     serve.add_argument(
         "--phi", type=float, nargs="+", required=True,
         help="quantile targets to answer from the one pass",
@@ -339,7 +367,10 @@ def _run_ranks(args: argparse.Namespace) -> str:
     )
 
 
-def _run_serve(args: argparse.Namespace) -> str:
+def _run_serve(args: argparse.Namespace):
+    """Returns ``(output_text, service)`` — the service rides along so the
+    observability exporters can include its query-latency histogram and
+    serving metrics."""
     values, topology = _load_values_and_topology(args)
     service = QuantileService(
         values,
@@ -368,7 +399,44 @@ def _run_serve(args: argparse.Namespace) -> str:
         f"{summary['queries_answered']} queries for {summary['query_bits']} "
         f"bits — zero additional rounds"
     )
-    return "\n".join(lines)
+    return "\n".join(lines), service
+
+
+def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    """A tracer when any observability flag asked for one, else None.
+
+    ``--trace`` keeps the per-round timeline (the JSONL dump carries a
+    convergence trace); ``--profile`` / ``--prom`` only need span and
+    label aggregates, which are O(1) memory per name.
+    """
+    if not (args.trace or args.profile or args.prom):
+        return None
+    return Tracer(round_timeline=bool(args.trace))
+
+
+def _export_observability(
+    args: argparse.Namespace, tracer: Optional[Tracer], service=None
+) -> None:
+    if tracer is None:
+        return
+    if args.trace:
+        write_trace_jsonl(tracer, args.trace)
+    if args.profile:
+        print(render_profile(tracer))
+    if args.prom:
+        metrics = {}
+        histograms = {}
+        if service is not None:
+            metrics["service_gossip"] = service.gossip_metrics
+            metrics["service_queries"] = service.query_metrics
+            histograms["query_latency"] = service.query_latency
+        text = render_prometheus(
+            tracer=tracer,
+            metrics=metrics or None,
+            histograms=histograms or None,
+        )
+        with open(args.prom, "w", encoding="utf-8") as stream:
+            stream.write(text)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -384,30 +452,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             lines.append(f"{name:<16} {spec.claim:<22} {spec.description}")
         print("\n".join(lines))
         return 0
-    if args.command == "query":
-        previous_engine = get_default_engine()
-        if args.engine is not None:
-            set_default_engine(args.engine)
-        try:
-            print(_run_query(args))
-        finally:
-            set_default_engine(previous_engine)
-        return 0
-    if args.command == "ranks":
-        print(_run_ranks(args))
-        return 0
-    if args.command == "serve":
-        print(_run_serve(args))
-        return 0
-    print(
-        run_experiment(
-            args.command,
-            output=args.output,
-            engine=args.engine,
-            workers=args.workers,
-            **_experiment_kwargs(args),
-        )
-    )
+    tracer = _make_tracer(args)
+    service = None
+    with use_tracer(tracer) if tracer is not None else nullcontext():
+        if args.command == "query":
+            previous_engine = get_default_engine()
+            if args.engine is not None:
+                set_default_engine(args.engine)
+            try:
+                print(_run_query(args))
+            finally:
+                set_default_engine(previous_engine)
+        elif args.command == "ranks":
+            print(_run_ranks(args))
+        elif args.command == "serve":
+            text, service = _run_serve(args)
+            print(text)
+        else:
+            print(
+                run_experiment(
+                    args.command,
+                    output=args.output,
+                    engine=args.engine,
+                    workers=args.workers,
+                    **_experiment_kwargs(args),
+                )
+            )
+    _export_observability(args, tracer, service=service)
     return 0
 
 

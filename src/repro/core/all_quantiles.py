@@ -39,6 +39,7 @@ from repro.gossip.engine import ENGINE_CHOICES, get_default_engine, set_default_
 from repro.gossip.failures import FailureModel
 from repro.gossip.metrics import NetworkMetrics
 from repro.gossip.network import GossipNetwork, resolve_value_dtype
+from repro.obs.tracer import get_tracer
 from repro.topology.graphs import Topology
 from repro.utils.rand import RandomSource
 
@@ -201,17 +202,19 @@ def estimate_all_ranks(
     if engine is not None:
         set_default_engine(engine)
     try:
-        if fused:
-            grid_values, windows = _run_fused(
-                array, grid, query_accuracy, final_samples, source,
-                failure_model, metrics, max_lanes, topology, peer_sampling,
-                dtype,
-            )
-        else:
-            grid_values, windows = _run_sequential(
-                array, grid, query_accuracy, final_samples, source,
-                failure_model, metrics, topology, peer_sampling, dtype,
-            )
+        with get_tracer().span("all_ranks", metrics) as span:
+            span.annotate(n=n, eps=eps, grid=int(grid.size), fused=fused)
+            if fused:
+                grid_values, windows = _run_fused(
+                    array, grid, query_accuracy, final_samples, source,
+                    failure_model, metrics, max_lanes, topology,
+                    peer_sampling, dtype,
+                )
+            else:
+                grid_values, windows = _run_sequential(
+                    array, grid, query_accuracy, final_samples, source,
+                    failure_model, metrics, topology, peer_sampling, dtype,
+                )
     finally:
         if engine is not None:
             set_default_engine(previous_engine)
@@ -238,6 +241,7 @@ def _run_fused(
     n = array.size
     per_grid: List[np.ndarray] = []
     windows: List[Tuple[int, int]] = []
+    tracer = get_tracer()
     for start in range(0, grid.size, max_lanes):
         chunk = grid[start:start + max_lanes]
         lanes = chunk.size
@@ -254,12 +258,14 @@ def _run_fused(
             dtype=dtype,
         )
         window_start = metrics.rounds
-        result = approximate_quantile(
-            network=network,
-            phi=[float(phi) for phi in chunk],
-            eps=query_accuracy,
-            final_samples=final_samples,
-        )
+        with tracer.span("grid_chunk", metrics) as span:
+            span.annotate(start=start, lanes=lanes)
+            result = approximate_quantile(
+                network=network,
+                phi=[float(phi) for phi in chunk],
+                eps=query_accuracy,
+                final_samples=final_samples,
+            )
         windows.append((window_start, metrics.rounds))
         per_grid.append(np.asarray(result.estimates).T)  # (lanes, n)
     grid_values = (

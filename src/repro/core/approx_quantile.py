@@ -33,6 +33,7 @@ from repro.exceptions import ConfigurationError
 from repro.gossip.failures import FailureModel
 from repro.gossip.metrics import NetworkMetrics
 from repro.gossip.network import GossipNetwork
+from repro.obs.tracer import get_tracer
 from repro.utils.rand import RandomSource
 
 
@@ -160,15 +161,17 @@ def approximate_quantile(
 
     rounds_before = network.metrics.rounds
 
-    phase1 = run_two_tournament(
-        network, phi=phis, eps=epss, track_band=track_bands
-    )
-    phase2 = run_three_tournament(
-        network,
-        eps=[lane_eps / 4.0 for lane_eps in epss],
-        final_samples=final_samples,
-        track_band=track_bands,
-    )
+    with get_tracer().span("approx_quantile", network.metrics) as span:
+        span.annotate(n=network.n, lanes=lanes)
+        phase1 = run_two_tournament(
+            network, phi=phis, eps=epss, track_band=track_bands
+        )
+        phase2 = run_three_tournament(
+            network,
+            eps=[lane_eps / 4.0 for lane_eps in epss],
+            final_samples=final_samples,
+            track_band=track_bands,
+        )
 
     estimates = phase2.final_values
     rounds = network.metrics.rounds - rounds_before

@@ -83,7 +83,7 @@ Implementation notes (documented deviations, see DESIGN.md §4):
 from __future__ import annotations
 
 import math
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -96,6 +96,7 @@ from repro.exceptions import ConfigurationError, ConvergenceError
 from repro.gossip.failures import FailureModel, resolve_failure_model
 from repro.gossip.metrics import NetworkMetrics
 from repro.gossip.network import GossipNetwork, resolve_value_dtype
+from repro.obs.tracer import get_tracer
 from repro.utils.mathutils import ceil_pow2
 from repro.utils.rand import RandomSource
 from repro.utils.stats import target_rank
@@ -176,6 +177,48 @@ def exact_quantile(
         The exact quantile value, total gossip rounds, and per-iteration
         bookkeeping.
     """
+    tracer = get_tracer()
+    if not tracer.active:
+        return _exact_quantile_impl(
+            values, phi, rng=rng, fidelity=fidelity,
+            eps_iteration=eps_iteration, failure_model=failure_model,
+            max_iterations=max_iterations, max_retries=max_retries,
+            final_samples=final_samples, dtype=dtype,
+        )
+    # Bind the root span to the driver's (fresh) metrics object so the
+    # span's counter deltas are the whole run's totals; the step spans
+    # inside the impl nest under this one.
+    metrics = NetworkMetrics(keep_history=False)
+    with tracer.span("exact_quantile", metrics) as root:
+        root.annotate(phi=phi, fidelity=fidelity)
+        result = _exact_quantile_impl(
+            values, phi, rng=rng, fidelity=fidelity,
+            eps_iteration=eps_iteration, failure_model=failure_model,
+            max_iterations=max_iterations, max_retries=max_retries,
+            final_samples=final_samples, dtype=dtype, _metrics=metrics,
+        )
+        root.annotate(
+            n=result.n,
+            iterations=result.iterations,
+            retries=result.retries,
+        )
+    return result
+
+
+def _exact_quantile_impl(
+    values: Union[np.ndarray, list, tuple],
+    phi: float,
+    rng: Union[None, int, RandomSource] = None,
+    fidelity: str = "idealized",
+    eps_iteration: float = DEFAULT_ITERATION_EPS,
+    failure_model: Union[None, float, FailureModel] = None,
+    max_iterations: int = 80,
+    max_retries: int = 16,
+    final_samples: int = 15,
+    dtype=None,
+    _metrics: Optional[NetworkMetrics] = None,
+) -> ExactQuantileResult:
+    """The driver body behind :func:`exact_quantile` (same contract)."""
     if fidelity not in ("idealized", "simulated"):
         raise ConfigurationError("fidelity must be 'idealized' or 'simulated'")
     if not 0.0 <= phi <= 1.0:
@@ -196,7 +239,10 @@ def exact_quantile(
     simulate = fidelity == "simulated"
     source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
     failures = resolve_failure_model(failure_model)
-    metrics = NetworkMetrics(keep_history=False)
+    metrics = _metrics if _metrics is not None else NetworkMetrics(
+        keep_history=False
+    )
+    tracer = get_tracer()
 
     # --- item (key) space setup -------------------------------------------------
     order = np.argsort(array, kind="stable")
@@ -278,13 +324,22 @@ def exact_quantile(
         phi_hi = k / n + eps / 2.0
         lo_bounded = phi_lo > 1.0 / n
         hi_bounded = phi_hi < 1.0
-        if lo_bounded and hi_bounded:
-            est_lo, est_hi = run_approx_pair(
-                max(1.0 / n, phi_lo), min(1.0, phi_hi), eps / 2.0
-            )
-        else:
-            est_lo = run_approx(max(1.0 / n, phi_lo), eps / 2.0) if lo_bounded else None
-            est_hi = run_approx(min(1.0, phi_hi), eps / 2.0) if hi_bounded else None
+        with tracer.span("sandwich", metrics) as span:
+            span.annotate(iteration=iteration, eps=eps,
+                          fused=lo_bounded and hi_bounded)
+            if lo_bounded and hi_bounded:
+                est_lo, est_hi = run_approx_pair(
+                    max(1.0 / n, phi_lo), min(1.0, phi_hi), eps / 2.0
+                )
+            else:
+                est_lo = (
+                    run_approx(max(1.0 / n, phi_lo), eps / 2.0)
+                    if lo_bounded else None
+                )
+                est_hi = (
+                    run_approx(min(1.0, phi_hi), eps / 2.0)
+                    if hi_bounded else None
+                )
 
         # Step 4: every node learns the min / max of the approximations.
         # Like the Step-3 sandwich, the two spreadings share one O(log n)
@@ -293,33 +348,39 @@ def exact_quantile(
         # spreading, and the idealized fidelity charges one window.
         min_key: float = 1.0
         max_key: float = float("inf")
-        if simulate:
-            if lo_bounded and hi_bounded:
-                pair = spread_extrema_pair(
-                    est_lo, est_hi, rng=source.child(),
-                    failure_model=failures, metrics=metrics,
+        with tracer.span("extrema", metrics) as span:
+            span.annotate(iteration=iteration)
+            if simulate:
+                if lo_bounded and hi_bounded:
+                    pair = spread_extrema_pair(
+                        est_lo, est_hi, rng=source.child(),
+                        failure_model=failures, metrics=metrics,
+                    )
+                    min_key = float(np.min(pair.lo_values))
+                    max_key = float(np.max(pair.hi_values))
+                elif lo_bounded:
+                    lo_spread = spread_extrema(
+                        est_lo, mode="min", rng=source.child(),
+                        failure_model=failures, metrics=metrics,
+                    )
+                    min_key = float(np.min(lo_spread.values))
+                elif hi_bounded:
+                    hi_spread = spread_extrema(
+                        est_hi, mode="max", rng=source.child(),
+                        failure_model=failures, metrics=metrics,
+                    )
+                    max_key = float(np.max(hi_spread.values))
+            else:
+                if lo_bounded:
+                    finite_lo = est_lo[np.isfinite(est_lo)]
+                    min_key = (
+                        float(np.min(finite_lo)) if finite_lo.size else 1.0
+                    )
+                if hi_bounded:
+                    max_key = float(np.max(est_hi))
+                metrics.charge_rounds(
+                    _charged_extrema_rounds(n), label="extrema"
                 )
-                min_key = float(np.min(pair.lo_values))
-                max_key = float(np.max(pair.hi_values))
-            elif lo_bounded:
-                lo_spread = spread_extrema(
-                    est_lo, mode="min", rng=source.child(),
-                    failure_model=failures, metrics=metrics,
-                )
-                min_key = float(np.min(lo_spread.values))
-            elif hi_bounded:
-                hi_spread = spread_extrema(
-                    est_hi, mode="max", rng=source.child(),
-                    failure_model=failures, metrics=metrics,
-                )
-                max_key = float(np.max(hi_spread.values))
-        else:
-            if lo_bounded:
-                finite_lo = est_lo[np.isfinite(est_lo)]
-                min_key = float(np.min(finite_lo)) if finite_lo.size else 1.0
-            if hi_bounded:
-                max_key = float(np.max(est_hi))
-            metrics.charge_rounds(_charged_extrema_rounds(n), label="extrema")
 
         # Translate the sandwich keys to *values* and keep every copy of a
         # surviving value (Step 6 restricts by value, so copies of the same
@@ -352,11 +413,15 @@ def exact_quantile(
         # Step 5: rank of the minimum.  Keys are exactly {1..live}, so the
         # count is determined by the sandwich; in simulated fidelity we also
         # run the push-sum counting substrate to pay its rounds.
-        if simulate:
-            count_leq(node_keys, threshold=min_key, rng=source.child(),
-                      failure_model=failures, metrics=metrics)
-        else:
-            metrics.charge_rounds(_charged_counting_rounds(n), label="counting")
+        with tracer.span("counting", metrics) as span:
+            span.annotate(iteration=iteration)
+            if simulate:
+                count_leq(node_keys, threshold=min_key, rng=source.child(),
+                          failure_model=failures, metrics=metrics)
+            else:
+                metrics.charge_rounds(
+                    _charged_counting_rounds(n), label="counting"
+                )
 
         valued_count = upto_max - below_min
         if valued_count <= 0:
@@ -380,41 +445,49 @@ def exact_quantile(
         new_live = multiplicity * valued_count
         new_key_values = np.repeat(key_values[below_min:upto_max], multiplicity)
 
-        if simulate:
-            # Keys are exactly {1..live}, each held by one node: an inverse
-            # permutation maps the surviving key block to its holders.
-            finite = np.isfinite(node_keys)
-            key_holder = np.empty(live, dtype=np.int64)
-            key_holder[node_keys[finite].astype(np.int64) - 1] = np.flatnonzero(finite)
-            item_nodes = key_holder[below_min:upto_max]
-            distribution = distribute_tokens(
-                item_nodes,
-                multiplicity=multiplicity,
-                n=n,
-                rng=source.child(),
-                failure_model=failures,
-                metrics=metrics,
-            )
-            # Item j owns the key block (j*multiplicity, (j+1)*multiplicity];
-            # hand block members to the owner nodes in arbitrary order (here:
-            # ascending node order within each item, matching the historical
-            # per-node loop bit for bit).
-            node_keys = np.full(n, np.inf, dtype=key_dtype)
-            owners = distribution.owners
-            nodes = np.flatnonzero(owners >= 0)
-            items_held = owners[nodes]
-            order = np.argsort(items_held, kind="stable")
-            node_keys[nodes[order]] = (
-                items_held[order].astype(np.int64) * multiplicity
-                + np.arange(nodes.size, dtype=np.int64) % multiplicity
-                + 1
-            )
-        else:
-            node_keys = np.full(n, np.inf, dtype=key_dtype)
-            node_keys[:new_live] = np.arange(1, new_live + 1, dtype=key_dtype)
-            metrics.charge_rounds(
-                _charged_token_rounds(n, multiplicity), label="tokens"
-            )
+        with tracer.span("tokens", metrics) as span:
+            span.annotate(iteration=iteration, multiplicity=multiplicity,
+                          survivors=valued_count)
+            if simulate:
+                # Keys are exactly {1..live}, each held by one node: an
+                # inverse permutation maps the surviving key block to its
+                # holders.
+                finite = np.isfinite(node_keys)
+                key_holder = np.empty(live, dtype=np.int64)
+                key_holder[node_keys[finite].astype(np.int64) - 1] = (
+                    np.flatnonzero(finite)
+                )
+                item_nodes = key_holder[below_min:upto_max]
+                distribution = distribute_tokens(
+                    item_nodes,
+                    multiplicity=multiplicity,
+                    n=n,
+                    rng=source.child(),
+                    failure_model=failures,
+                    metrics=metrics,
+                )
+                # Item j owns the key block (j*multiplicity,
+                # (j+1)*multiplicity]; hand block members to the owner nodes
+                # in arbitrary order (here: ascending node order within each
+                # item, matching the historical per-node loop bit for bit).
+                node_keys = np.full(n, np.inf, dtype=key_dtype)
+                owners = distribution.owners
+                nodes = np.flatnonzero(owners >= 0)
+                items_held = owners[nodes]
+                order = np.argsort(items_held, kind="stable")
+                node_keys[nodes[order]] = (
+                    items_held[order].astype(np.int64) * multiplicity
+                    + np.arange(nodes.size, dtype=np.int64) % multiplicity
+                    + 1
+                )
+            else:
+                node_keys = np.full(n, np.inf, dtype=key_dtype)
+                node_keys[:new_live] = np.arange(
+                    1, new_live + 1, dtype=key_dtype
+                )
+                metrics.charge_rounds(
+                    _charged_token_rounds(n, multiplicity), label="tokens"
+                )
 
         key_values = new_key_values
         k = multiplicity * (k - below_min)
@@ -449,22 +522,24 @@ def exact_quantile(
     answer = float("nan")
     live = key_values.size
     single_candidate = _distinct_sorted(key_values) == 1
-    for _attempt in range(max_retries + 1):
-        phi_final = max(1.0 / n, k / n - eps / 2.0)
-        estimates = run_approx(phi_final, eps / 3.0)
-        finite = estimates[np.isfinite(estimates)]
-        if finite.size == 0:
+    with tracer.span("final_query", metrics) as span:
+        for _attempt in range(max_retries + 1):
+            phi_final = max(1.0 / n, k / n - eps / 2.0)
+            estimates = run_approx(phi_final, eps / 3.0)
+            finite = estimates[np.isfinite(estimates)]
+            if finite.size == 0:
+                retries += 1
+                continue
+            key_estimate = int(round(float(np.median(finite))))
+            key_estimate = min(max(key_estimate, 1), live)
+            candidate = float(key_values[key_estimate - 1])
+            if candidate == true_value or single_candidate:
+                answer = candidate
+                break
             retries += 1
-            continue
-        key_estimate = int(round(float(np.median(finite))))
-        key_estimate = min(max(key_estimate, 1), live)
-        candidate = float(key_values[key_estimate - 1])
-        if candidate == true_value or single_candidate:
-            answer = candidate
-            break
-        retries += 1
-    else:  # pragma: no cover - exercised only under extreme randomness
-        answer = true_value
+        else:  # pragma: no cover - exercised only under extreme randomness
+            answer = true_value
+        span.annotate(attempts=_attempt + 1)
 
     if math.isnan(answer):
         answer = true_value

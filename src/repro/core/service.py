@@ -22,6 +22,7 @@ the sketch is a per-item stream fold — opt-in, priced at its
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -35,6 +36,7 @@ from repro.exceptions import ConfigurationError
 from repro.gossip.failures import FailureModel
 from repro.gossip.messages import BITS_HEADER, BITS_PER_VALUE
 from repro.gossip.metrics import NetworkMetrics
+from repro.obs.tracer import LatencyHistogram, get_tracer
 from repro.sketches.kll import KLLSketch
 from repro.topology.graphs import Topology
 from repro.utils.rand import RandomSource
@@ -111,21 +113,24 @@ class QuantileService:
     ) -> None:
         source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
         self._array = np.asarray(values, dtype=float)
-        self._result = estimate_all_ranks(
-            self._array,
-            eps=eps,
-            rng=source.child(),
-            failure_model=failure_model,
-            query_accuracy=query_accuracy,
-            final_samples=final_samples,
-            fused=fused,
-            max_lanes=max_lanes,
-            topology=topology,
-            peer_sampling=peer_sampling,
-            dtype=dtype,
-            engine=engine,
-            keep_history=keep_history,
-        )
+        build_metrics = NetworkMetrics(keep_history=keep_history)
+        with get_tracer().span("service_build", build_metrics) as span:
+            span.annotate(n=int(self._array.size), eps=float(eps))
+            self._result = estimate_all_ranks(
+                self._array,
+                eps=eps,
+                rng=source.child(),
+                failure_model=failure_model,
+                query_accuracy=query_accuracy,
+                final_samples=final_samples,
+                fused=fused,
+                max_lanes=max_lanes,
+                topology=topology,
+                peer_sampling=peer_sampling,
+                dtype=dtype,
+                engine=engine,
+                metrics=build_metrics,
+            )
         self._eps = float(eps)
         self._query_accuracy = (
             eps / 2.0 if query_accuracy is None else float(query_accuracy)
@@ -143,11 +148,19 @@ class QuantileService:
 
         self._sketch: Optional[KLLSketch] = None
         if sketch_k is not None:
-            sketch = KLLSketch(k=sketch_k, rng=source.child())
-            sketch.extend(float(value) for value in self._array)
-            self._sketch = sketch
+            with get_tracer().span("sketch_build") as span:
+                span.annotate(k=int(sketch_k), items=int(self._array.size))
+                sketch = KLLSketch(k=sketch_k, rng=source.child())
+                sketch.extend(float(value) for value in self._array)
+                self._sketch = sketch
 
         self.query_metrics = NetworkMetrics(keep_history=False)
+        #: Serving-side latency histogram: one observation per answered
+        #: query (quantile / rank_of), wall seconds.
+        self.query_latency = LatencyHistogram()
+        #: Answer-source counters: how many queries each backing store served.
+        self.answers_grid = 0
+        self.answers_sketch = 0
 
     # -- build-time facts ---------------------------------------------------------
     @property
@@ -206,6 +219,7 @@ class QuantileService:
         attached), ``"auto"`` (default) serves from whichever carries the
         tighter rank-accuracy bound for this φ.
         """
+        started = perf_counter()
         if not 0.0 <= phi <= 1.0:
             raise ConfigurationError("phi must be in [0, 1]")
         if prefer not in ("auto", "grid", "sketch"):
@@ -238,6 +252,11 @@ class QuantileService:
                 "serve this query"
             )
         self.query_metrics.record_query(ANSWER_BITS)
+        if answer.source == "sketch":
+            self.answers_sketch += 1
+        else:
+            self.answers_grid += 1
+        self.query_latency.observe(perf_counter() - started)
         return answer
 
     def batch_quantiles(
@@ -253,6 +272,7 @@ class QuantileService:
         grid answers lie below ``value``, accurate to ``eps`` plus the
         per-lane query accuracy.
         """
+        started = perf_counter()
         below = int(np.count_nonzero(self._grid_answers < float(value)))
         estimate = float(np.clip((below + 0.5) * self._eps, 0.0, 1.0))
         answer = QueryAnswer(
@@ -262,6 +282,8 @@ class QuantileService:
             accuracy=self._eps + self._query_accuracy,
         )
         self.query_metrics.record_query(ANSWER_BITS)
+        self.answers_grid += 1
+        self.query_latency.observe(perf_counter() - started)
         return answer
 
     def self_quantiles(self) -> np.ndarray:
@@ -295,6 +317,8 @@ class QuantileService:
             "queries_answered": self.queries_answered,
             "query_bits": self.query_metrics.total_bits,
             "sketch_items": self._sketch.size if self._sketch else 0,
+            "answers_grid": self.answers_grid,
+            "answers_sketch": self.answers_sketch,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

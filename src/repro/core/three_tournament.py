@@ -26,6 +26,7 @@ from repro.core.schedules import ThreeTournamentSchedule, three_tournament_sched
 from repro.core.two_tournament import _lane_view, normalize_schedules, per_lane
 from repro.exceptions import ConfigurationError
 from repro.gossip.network import GossipNetwork
+from repro.obs.tracer import get_tracer
 from repro.utils.stats import empirical_quantile
 
 #: Default size of the final vote.  The paper only requires K = O(1); an odd
@@ -97,60 +98,72 @@ def run_three_tournament(
     can_fail = network.can_fail
     single = network.values.ndim == 1
     num_iterations = max((s.num_iterations for s in schedules), default=0)
-    for step in range(num_iterations):
+    # The span covers the tournament iterations *and* the final vote — the
+    # algorithm's whole round budget.  Observation only: wall time and
+    # counter snapshots, never the RNG.
+    with get_tracer().span("three_tournament", network.metrics) as phase_span:
+        phase_span.annotate(
+            lanes=lanes,
+            iterations=num_iterations,
+            final_samples=final_samples,
+        )
+        for step in range(num_iterations):
+            current = network.snapshot() if can_fail else None
+            batch = network.pull(3, label="3-tournament")
+            vals = batch.values
+            if can_fail:
+                mask = batch.ok if single else batch.ok[:, :, None]
+                fallback = current[:, None] if single else current[:, None, :]
+                vals = np.where(mask, vals, fallback)
+            vals = _lane_view(vals, single)                 # (n, 3, L)
+            live = _lane_view(network.values, single)       # (n, L)
+            medians = _median_of_three(vals[:, 0], vals[:, 1], vals[:, 2])
+            new_values = np.empty_like(live)
+            for lane, lane_schedule in enumerate(schedules):
+                if step >= lane_schedule.num_iterations:
+                    new_values[:, lane] = live[:, lane]      # lane idles
+                else:
+                    new_values[:, lane] = medians[:, lane]
+            updated = new_values[:, 0] if single else new_values
+            network.set_values(updated, copy=False)
+            if track_band:
+                n = network.n
+                iteration = schedules[0].iterations[step]
+                low = float(np.count_nonzero(updated < lo_value)) / n
+                high = float(np.count_nonzero(updated > hi_value)) / n
+                stats.append(
+                    PhaseIterationStats(
+                        iteration=iteration.index,
+                        predicted=iteration.l_after,
+                        high_fraction=high,
+                        low_fraction=low,
+                        band_fraction=1.0 - low - high,
+                    )
+                )
+
+        # Final vote: every node samples `final_samples` values and outputs
+        # the median of its sample (Algorithm 2, line 8) — one shared pull
+        # batch, per-lane medians.
         current = network.snapshot() if can_fail else None
-        batch = network.pull(3, label="3-tournament")
+        batch = network.pull(final_samples, label="3-tournament-vote")
         vals = batch.values
         if can_fail:
             mask = batch.ok if single else batch.ok[:, :, None]
             fallback = current[:, None] if single else current[:, None, :]
             vals = np.where(mask, vals, fallback)
-        vals = _lane_view(vals, single)                 # (n, 3, L)
-        live = _lane_view(network.values, single)       # (n, L)
-        medians = _median_of_three(vals[:, 0], vals[:, 1], vals[:, 2])
-        new_values = np.empty_like(live)
-        for lane, lane_schedule in enumerate(schedules):
-            if step >= lane_schedule.num_iterations:
-                new_values[:, lane] = live[:, lane]      # lane idles
-            else:
-                new_values[:, lane] = medians[:, lane]
-        updated = new_values[:, 0] if single else new_values
-        network.set_values(updated, copy=False)
-        if track_band:
-            n = network.n
-            iteration = schedules[0].iterations[step]
-            low = float(np.count_nonzero(updated < lo_value)) / n
-            high = float(np.count_nonzero(updated > hi_value)) / n
-            stats.append(
-                PhaseIterationStats(
-                    iteration=iteration.index,
-                    predicted=iteration.l_after,
-                    high_fraction=high,
-                    low_fraction=low,
-                    band_fraction=1.0 - low - high,
-                )
-            )
-
-    # Final vote: every node samples `final_samples` values and outputs the
-    # median of its sample (Algorithm 2, line 8) — one shared pull batch,
-    # per-lane medians.
-    current = network.snapshot() if can_fail else None
-    batch = network.pull(final_samples, label="3-tournament-vote")
-    vals = batch.values
-    if can_fail:
-        mask = batch.ok if single else batch.ok[:, :, None]
-        fallback = current[:, None] if single else current[:, None, :]
-        vals = np.where(mask, vals, fallback)
-    # partition places the middle order statistic exactly where a full sort
-    # would; the selected values are identical.  Multi-lane votes partition
-    # lane by lane so each pass runs over a contiguous (n, K) block.
-    mid = final_samples // 2
-    if vals.ndim == 2:
-        outputs = np.partition(vals, mid, axis=1)[:, mid]
-    else:
-        outputs = np.empty((vals.shape[0], vals.shape[2]), dtype=vals.dtype)
-        for lane in range(vals.shape[2]):
-            outputs[:, lane] = np.partition(vals[:, :, lane], mid, axis=1)[:, mid]
+        # partition places the middle order statistic exactly where a full
+        # sort would; the selected values are identical.  Multi-lane votes
+        # partition lane by lane so each pass runs over a contiguous (n, K)
+        # block.
+        mid = final_samples // 2
+        if vals.ndim == 2:
+            outputs = np.partition(vals, mid, axis=1)[:, mid]
+        else:
+            outputs = np.empty((vals.shape[0], vals.shape[2]), dtype=vals.dtype)
+            for lane in range(vals.shape[2]):
+                outputs[:, lane] = np.partition(
+                    vals[:, :, lane], mid, axis=1
+                )[:, mid]
 
     return TournamentPhaseResult(
         final_values=outputs,

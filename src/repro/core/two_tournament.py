@@ -27,6 +27,7 @@ from repro.core.results import PhaseIterationStats, TournamentPhaseResult
 from repro.core.schedules import TwoTournamentSchedule, two_tournament_schedule
 from repro.exceptions import ConfigurationError
 from repro.gossip.network import GossipNetwork
+from repro.obs.tracer import get_tracer
 from repro.utils.stats import empirical_quantile
 
 
@@ -141,57 +142,64 @@ def run_two_tournament(
     can_fail = network.can_fail
     single = network.values.ndim == 1
     num_iterations = max((s.num_iterations for s in schedules), default=0)
-    for step in range(num_iterations):
-        # The fallback value for failed pulls is the pre-iteration value;
-        # on the failure-free path every pull succeeds and the snapshot
-        # copy is skipped entirely.
-        current = network.snapshot() if can_fail else None
-        batch = network.pull(2, label="2-tournament")
-        vals = _lane_view(batch.values, single)         # (n, 2, L)
-        live = _lane_view(network.values, single)       # (n, L)
-        new_values = np.empty_like(live)
-        for lane, lane_schedule in enumerate(schedules):
-            if step >= lane_schedule.num_iterations:
-                new_values[:, lane] = live[:, lane]      # lane idles
-                continue
-            iteration = lane_schedule.iterations[step]
-            first = vals[:, 0, lane]
-            second = vals[:, 1, lane]
-            if can_fail:
-                fallback = _lane_view(current, single)[:, lane]
-                first = np.where(batch.ok[:, 0], first, fallback)
-                second = np.where(batch.ok[:, 1], second, fallback)
-            if lane_schedule.direction == "min":
-                winners = np.minimum(first, second)
-            else:
-                winners = np.maximum(first, second)
+    # The span reads wall time and metric counters only; the random stream
+    # is identical with or without a tracer installed.
+    with get_tracer().span("two_tournament", network.metrics) as phase_span:
+        phase_span.annotate(lanes=lanes, iterations=num_iterations)
+        for step in range(num_iterations):
+            # The fallback value for failed pulls is the pre-iteration
+            # value; on the failure-free path every pull succeeds and the
+            # snapshot copy is skipped entirely.
+            current = network.snapshot() if can_fail else None
+            batch = network.pull(2, label="2-tournament")
+            vals = _lane_view(batch.values, single)         # (n, 2, L)
+            live = _lane_view(network.values, single)       # (n, L)
+            new_values = np.empty_like(live)
+            for lane, lane_schedule in enumerate(schedules):
+                if step >= lane_schedule.num_iterations:
+                    new_values[:, lane] = live[:, lane]      # lane idles
+                    continue
+                iteration = lane_schedule.iterations[step]
+                first = vals[:, 0, lane]
+                second = vals[:, 1, lane]
+                if can_fail:
+                    fallback = _lane_view(current, single)[:, lane]
+                    first = np.where(batch.ok[:, 0], first, fallback)
+                    second = np.where(batch.ok[:, 1], second, fallback)
+                if lane_schedule.direction == "min":
+                    winners = np.minimum(first, second)
+                else:
+                    winners = np.maximum(first, second)
 
-            if iteration.delta >= 1.0:
-                new_values[:, lane] = winners
-            else:
-                coin = network.rng.random(network.n)
-                do_tournament = coin < iteration.delta
-                # With probability 1 - delta the node copies a single random
-                # value instead (Algorithm 1, lines 9-11); we reuse the first
-                # pull for that copy, exactly one sampled value.
-                new_values[:, lane] = np.where(do_tournament, winners, first)
+                if iteration.delta >= 1.0:
+                    new_values[:, lane] = winners
+                else:
+                    coin = network.rng.random(network.n)
+                    do_tournament = coin < iteration.delta
+                    # With probability 1 - delta the node copies a single
+                    # random value instead (Algorithm 1, lines 9-11); we
+                    # reuse the first pull for that copy, exactly one
+                    # sampled value.
+                    new_values[:, lane] = np.where(
+                        do_tournament, winners, first
+                    )
 
-        updated = new_values[:, 0] if single else new_values
-        network.set_values(updated, copy=False)
-        if track_band:
-            low, band, high = measure_band(updated, lo_value, hi_value)
-            iteration = schedules[0].iterations[step]
-            stats.append(
-                PhaseIterationStats(
-                    iteration=iteration.index,
-                    predicted=iteration.h_after
-                    if iteration.delta >= 1.0
-                    else schedules[0].threshold,
-                    high_fraction=high,
-                    low_fraction=low,
-                    band_fraction=band,
+            updated = new_values[:, 0] if single else new_values
+            network.set_values(updated, copy=False)
+            if track_band:
+                low, band, high = measure_band(updated, lo_value, hi_value)
+                iteration = schedules[0].iterations[step]
+                stats.append(
+                    PhaseIterationStats(
+                        iteration=iteration.index,
+                        predicted=iteration.h_after
+                        if iteration.delta >= 1.0
+                        else schedules[0].threshold,
+                        high_fraction=high,
+                        low_fraction=low,
+                        band_fraction=band,
+                    )
                 )
-            )
 
     return TournamentPhaseResult(
         final_values=network.snapshot(),

@@ -25,7 +25,6 @@ pickled per trial.
 from __future__ import annotations
 
 import math
-import time
 from functools import partial
 from typing import Dict, List, Optional, Sequence
 
@@ -34,6 +33,7 @@ import numpy as np
 from repro.core.exact_quantile import exact_quantile
 from repro.datasets.generators import distinct_uniform
 from repro.exceptions import ConfigurationError
+from repro.obs.tracer import Tracer
 from repro.utils.rand import RandomSource
 from repro.utils.stats import empirical_quantile
 
@@ -73,9 +73,17 @@ def _run_one_trial(
     :func:`repro.experiments.runner.run_trials`; ``truth`` is the offline
     quantile, computed once per (n, phi) rather than per trial.
     """
-    start = time.perf_counter()
-    result = exact_quantile(values, phi=phi, rng=rng, fidelity=fidelity, dtype=dtype)
-    wall = time.perf_counter() - start
+    # A trial-local tracer (not installed ambiently) times the call through
+    # the same span API the rest of the stack uses; local scope keeps the
+    # engines' per-round hooks disabled, so the timed run stays on the
+    # noop-tracer hot path.
+    timer = Tracer()
+    with timer.span("exact_scale_trial") as span:
+        span.annotate(phi=phi, fidelity=fidelity, dtype=dtype or "float64")
+        result = exact_quantile(
+            values, phi=phi, rng=rng, fidelity=fidelity, dtype=dtype
+        )
+    wall = timer.spans[0].wall_s
     rank_true = np.searchsorted(np.sort(values), truth, side="right")
     rank_got = np.searchsorted(np.sort(values), result.value, side="right")
     return {

@@ -19,7 +19,8 @@ so a fixed seed yields the same execution under either engine.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple, Union
+from time import perf_counter
+from typing import Any, Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from repro.gossip.failures import FailureModel, NoFailures, resolve_failure_mode
 from repro.gossip.messages import payload_bits
 from repro.gossip.metrics import NetworkMetrics, RoundRecord
 from repro.gossip.protocol import Action, BatchAction, BatchGossipProtocol, GossipProtocol
+from repro.obs.tracer import get_tracer
 from repro.topology.dynamic import TopologyProcess, resolve_topology_process
 from repro.topology.graphs import Topology
 from repro.topology.sampler import (
@@ -238,6 +240,7 @@ def run_protocol_loop(
     topology: Optional[Topology] = None,
     peer_sampling: str = "uniform",
     topology_process: Optional[TopologyProcess] = None,
+    on_round: Optional[Callable[[RoundRecord, float], None]] = None,
 ) -> EngineResult:
     """Run ``protocol`` on the per-node reference engine.
 
@@ -267,16 +270,27 @@ def run_protocol_loop(
         exclusive with ``topology``.  Nodes outside the process's per-round
         active mask neither act nor receive; their state freezes, so
         conserved aggregates (push-sum mass/weight) are preserved.
+    on_round:
+        Optional per-round observer ``on_round(record, elapsed)`` invoked
+        after each executed round with that round's
+        :class:`~repro.gossip.metrics.RoundRecord` (read it, don't mutate
+        it) and the wall seconds the round took.  Defaults to the ambient
+        tracer's hook (``None`` — free — unless a tracer is installed).
+        Observation only: the hook runs after all of the round's RNG draws,
+        so seeded executions are bit-identical with or without it.
     """
     n = protocol.n
     source, failures, stats, sampler = _begin_run(
         protocol, rng, failure_model, metrics, topology, peer_sampling,
         topology_process,
     )
+    hook = on_round if on_round is not None else get_tracer().on_round
 
     round_index = 0
     completed = protocol.is_done(round_index)
     while not completed and round_index < max_rounds:
+        if hook is not None:
+            round_started = perf_counter()
         record, failed, partners = _begin_round(
             protocol, round_index, n, source, failures, stats, sampler,
             topology_process,
@@ -315,6 +329,8 @@ def run_protocol_loop(
                 protocol.on_receive(node, response, partner, "pull", round_index)
 
         protocol.end_round(round_index)
+        if hook is not None:
+            hook(record, perf_counter() - round_started)
         round_index += 1
         completed = protocol.is_done(round_index)
 
@@ -331,12 +347,16 @@ def run_protocol_vectorized(
     topology: Optional[Topology] = None,
     peer_sampling: str = "uniform",
     topology_process: Optional[TopologyProcess] = None,
+    on_round: Optional[Callable[[RoundRecord, float], None]] = None,
 ) -> EngineResult:
     """Run a batch-capable protocol one whole round per numpy operation.
 
     Semantically identical to :func:`run_protocol_loop` — same random
     stream, same accounting, bit-identical outputs — but each round costs
     a handful of array operations instead of ``O(n)`` Python calls.
+    ``on_round`` observes rounds exactly as on the loop engine (same
+    record contents, same invocation count), so hook-driven convergence
+    traces are engine-agnostic.
     """
     if not supports_batch(protocol):
         raise ProtocolError(
@@ -348,10 +368,13 @@ def run_protocol_vectorized(
         protocol, rng, failure_model, metrics, topology, peer_sampling,
         topology_process,
     )
+    hook = on_round if on_round is not None else get_tracer().on_round
 
     round_index = 0
     completed = protocol.is_done(round_index)
     while not completed and round_index < max_rounds:
+        if hook is not None:
+            round_started = perf_counter()
         record, failed, partners = _begin_round(
             protocol, round_index, n, source, failures, stats, sampler,
             topology_process,
@@ -393,6 +416,8 @@ def run_protocol_vectorized(
             protocol.receive_batch(round_index, alive, partners, action)
 
         protocol.end_round(round_index)
+        if hook is not None:
+            hook(record, perf_counter() - round_started)
         round_index += 1
         completed = protocol.is_done(round_index)
 
@@ -410,6 +435,7 @@ def run_protocol(
     topology: Optional[Topology] = None,
     peer_sampling: str = "uniform",
     topology_process: Optional[TopologyProcess] = None,
+    on_round: Optional[Callable[[RoundRecord, float], None]] = None,
 ) -> EngineResult:
     """Run ``protocol`` until it reports completion.
 
@@ -438,4 +464,5 @@ def run_protocol(
         topology=topology,
         peer_sampling=peer_sampling,
         topology_process=topology_process,
+        on_round=on_round,
     )

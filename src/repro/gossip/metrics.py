@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +42,7 @@ class NetworkMetrics:
     max_message_bits: int = 0
     failed_node_rounds: int = 0
     queries: int = 0
+    query_bits: int = 0
     history: List[RoundRecord] = field(default_factory=list)
     keep_history: bool = True
 
@@ -153,6 +154,7 @@ class NetworkMetrics:
         if count < 0 or bits < 0:
             raise ValueError("counts and bits must be non-negative")
         self.queries += count
+        self.query_bits += count * bits
         self.messages += count
         self.total_bits += count * bits
         if count and bits > self.max_message_bits:
@@ -186,6 +188,7 @@ class NetworkMetrics:
         self.total_bits += other.total_bits
         self.failed_node_rounds += other.failed_node_rounds
         self.queries += other.queries
+        self.query_bits += other.query_bits
         if other.max_message_bits > self.max_message_bits:
             self.max_message_bits = other.max_message_bits
         if self.keep_history:
@@ -207,14 +210,39 @@ class NetworkMetrics:
             counts[record.label] = counts.get(record.label, 0) + 1
         return counts
 
+    def counters(self) -> Tuple[int, int, int, int, int, int]:
+        """The cumulative counters as one tuple, for span snapshotting.
+
+        :class:`~repro.obs.tracer.Span` snapshots this at its boundaries
+        and stores the deltas — observability *reads* the counters; it
+        never mutates this object.
+        """
+        return (
+            self.rounds,
+            self.messages,
+            self.total_bits,
+            self.queries,
+            self.query_bits,
+            self.failed_node_rounds,
+        )
+
     def summary(self) -> Dict[str, float]:
-        """A flat dictionary convenient for experiment result rows."""
+        """A flat dictionary convenient for experiment result rows.
+
+        Includes the serving-layer query counters: rows derived from a
+        metrics object that answered queries would otherwise silently drop
+        the query cost (``queries`` / ``query_bits`` are also folded into
+        ``messages`` / ``total_bits``, so the breakdown keeps the totals
+        attributable).
+        """
         return {
             "rounds": self.rounds,
             "messages": self.messages,
             "total_bits": self.total_bits,
             "max_message_bits": self.max_message_bits,
             "failed_node_rounds": self.failed_node_rounds,
+            "queries": self.queries,
+            "query_bits": self.query_bits,
         }
 
 

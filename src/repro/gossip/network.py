@@ -31,6 +31,7 @@ from repro.exceptions import ConfigurationError
 from repro.gossip.failures import FailureModel, NoFailures, resolve_failure_model
 from repro.gossip.messages import BITS_PER_VALUE, tournament_message_bits
 from repro.gossip.metrics import NetworkMetrics
+from repro.obs.tracer import get_tracer
 from repro.topology.dynamic import TopologyProcess, resolve_topology_process
 from repro.topology.graphs import Topology
 from repro.topology.sampler import resolve_peer_sampler
@@ -320,6 +321,19 @@ class GossipNetwork:
                 f"values override must have shape {self._values.shape}"
             )
         bits = self._message_bits if payload_bits is None else int(payload_bits)
+        tracer = get_tracer()
+        if tracer.active:
+            # One event per pull *batch* (k rounds), not per round: the
+            # round windows of a tournament become visible in the trace
+            # while the inactive-tracer cost stays one attribute check.
+            tracer.event(
+                "pull",
+                label=label,
+                k=k,
+                lanes=self._lanes,
+                bits_each=bits,
+                round_start=self.metrics.rounds,
+            )
 
         if self._process is not None:
             return self._pull_dynamic(k, label, bits, source)

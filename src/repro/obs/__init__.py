@@ -1,0 +1,43 @@
+"""repro.obs — structured tracing, timing and metrics export.
+
+See :mod:`repro.obs.tracer` for the span/tracer model and
+:mod:`repro.obs.exporters` for the JSONL / profile-tree / Prometheus
+renderings.  The ambient tracer defaults to the allocation-free
+:data:`~repro.obs.tracer.NULL_TRACER`; install a real one with
+:func:`~repro.obs.tracer.use_tracer` (or the CLI's ``--trace`` /
+``--profile`` / ``--prom`` flags).
+"""
+
+from repro.obs.exporters import (
+    render_profile,
+    render_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    LatencyHistogram,
+    NullTracer,
+    RoundSample,
+    Span,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "LatencyHistogram",
+    "NULL_TRACER",
+    "NullTracer",
+    "RoundSample",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "render_profile",
+    "render_prometheus",
+    "set_tracer",
+    "use_tracer",
+    "write_trace_jsonl",
+]

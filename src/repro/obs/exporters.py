@@ -1,0 +1,213 @@
+"""Exporters for traces and metrics: JSON-lines, profile tree, Prometheus.
+
+Three renderings of one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`write_trace_jsonl` — a machine-readable span/event/round dump,
+  one JSON object per line (the CLI's ``--trace FILE``);
+* :func:`render_profile` — a human-readable span tree with wall time,
+  rounds, messages and payload bits per span (the CLI's ``--profile``);
+* :func:`render_prometheus` — a flat Prometheus-text-format rendering of
+  the trace totals, per-span-name aggregates, round-label throughput, any
+  :class:`~repro.gossip.metrics.NetworkMetrics` objects, and any
+  :class:`~repro.obs.tracer.LatencyHistogram` instances (the CLI's
+  ``--prom FILE``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from repro.obs.tracer import LatencyHistogram, Tracer
+
+__all__ = ["render_profile", "render_prometheus", "write_trace_jsonl"]
+
+
+def _span_line(span) -> Dict:
+    payload = asdict(span)
+    payload["type"] = "span"
+    return payload
+
+
+def write_trace_jsonl(tracer: Tracer, path: Union[str, Path]) -> int:
+    """Dump a tracer as JSON lines; returns the number of lines written.
+
+    The stream carries one ``{"type": "span"}`` object per span (in start
+    order, with ``index``/``parent`` encoding the tree), one
+    ``{"type": "event"}`` object per point event, one
+    ``{"type": "round"}`` object per engine round when the tracer kept a
+    round timeline, and a trailing ``{"type": "summary"}`` object with the
+    whole-trace totals and per-label round aggregation.
+    """
+    path = Path(path)
+    lines = 0
+    with path.open("w", encoding="utf-8") as stream:
+        for span in tracer.spans:
+            stream.write(json.dumps(_span_line(span), default=str) + "\n")
+            lines += 1
+        for event in tracer.events:
+            payload = dict(event)
+            payload["type"] = "event"
+            stream.write(json.dumps(payload, default=str) + "\n")
+            lines += 1
+        if tracer.timeline is not None:
+            for sample in tracer.timeline:
+                payload = asdict(sample)
+                payload["type"] = "round"
+                stream.write(json.dumps(payload) + "\n")
+                lines += 1
+        summary = {
+            "type": "summary",
+            "totals": tracer.totals(),
+            "round_labels": tracer.round_labels(),
+            "rounds_per_sec": tracer.rounds_per_sec,
+        }
+        stream.write(json.dumps(summary) + "\n")
+        lines += 1
+    return lines
+
+
+def render_profile(tracer: Tracer, max_depth: Optional[int] = None) -> str:
+    """A human-readable profile tree: wall, rounds, messages, bits per span."""
+    lines = [
+        f"{'span':<44} {'wall':>10}  {'rounds':>7}  {'messages':>9}  "
+        f"{'bits':>12}"
+    ]
+    lines.append("-" * len(lines[0]))
+
+    def emit(parent, prefix: str) -> None:
+        for span in tracer.children(parent):
+            if max_depth is not None and span.depth > max_depth:
+                continue
+            label = f"{prefix}{span.name}"
+            if span.meta:
+                meta = ",".join(f"{k}={v}" for k, v in sorted(span.meta.items()))
+                label = f"{label}[{meta}]"
+            lines.append(
+                f"{label:<44} {span.wall_s * 1e3:>8.2f}ms  {span.rounds:>7}  "
+                f"{span.messages:>9}  {span.bits:>12}"
+            )
+            emit(span.index, prefix + "  ")
+
+    emit(None, "")
+    totals = tracer.totals()
+    lines.append("-" * len(lines[0]))
+    lines.append(
+        f"{'total':<44} {totals['wall_s'] * 1e3:>8.2f}ms  "
+        f"{totals['rounds']:>7}  {totals['messages']:>9}  {totals['bits']:>12}"
+    )
+    if tracer.rounds_observed:
+        lines.append(
+            f"engine rounds observed: {tracer.rounds_observed} "
+            f"({tracer.rounds_per_sec:.0f} rounds/sec hooked)"
+        )
+    if totals["queries"]:
+        lines.append(
+            f"queries answered: {totals['queries']} "
+            f"({totals['query_bits']} bits)"
+        )
+    return "\n".join(lines)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _counter(lines, name: str, help_text: str, value, labels: str = "") -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} counter")
+    lines.append(f"{name}{labels} {value}")
+
+
+def render_prometheus(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Mapping[str, object]] = None,
+    histograms: Optional[Mapping[str, LatencyHistogram]] = None,
+    prefix: str = "repro",
+) -> str:
+    """Render observability state in the Prometheus text exposition format.
+
+    Parameters
+    ----------
+    tracer:
+        Optional tracer: whole-trace totals become ``<prefix>_*_total``
+        counters, per-span-name aggregates become labelled
+        ``<prefix>_span_*`` families, and the engine-hook label
+        aggregation becomes ``<prefix>_round_*`` families.
+    metrics:
+        Optional mapping ``{instance_label: NetworkMetrics}``; each is
+        rendered through its ``summary()`` as labelled counters.
+    histograms:
+        Optional mapping ``{name: LatencyHistogram}``; rendered as native
+        Prometheus histograms (cumulative ``_bucket`` series, ``_sum``,
+        ``_count``).
+    """
+    lines = []
+    if tracer is not None:
+        totals = tracer.totals()
+        _counter(lines, f"{prefix}_rounds_total",
+                 "Simulated gossip rounds inside traced spans.",
+                 totals["rounds"])
+        _counter(lines, f"{prefix}_messages_total",
+                 "Messages inside traced spans.", totals["messages"])
+        _counter(lines, f"{prefix}_bits_total",
+                 "Payload bits inside traced spans.", totals["bits"])
+        _counter(lines, f"{prefix}_queries_total",
+                 "Quantile queries answered inside traced spans.",
+                 totals["queries"])
+        _counter(lines, f"{prefix}_query_bits_total",
+                 "Payload bits of answered queries inside traced spans.",
+                 totals["query_bits"])
+        for family, key, help_text in (
+            ("span_wall_seconds", "wall_s", "Wall seconds per span name."),
+            ("span_calls", "calls", "Span entries per span name."),
+            ("span_rounds", "rounds", "Gossip rounds per span name."),
+            ("span_bits", "bits", "Payload bits per span name."),
+        ):
+            name = f"{prefix}_{family}"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} counter")
+            for span_name, agg in sorted(tracer.aggregate().items()):
+                lines.append(
+                    f'{name}{{span="{_escape_label(span_name)}"}} {agg[key]}'
+                )
+        if tracer.rounds_observed:
+            name = f"{prefix}_engine_rounds"
+            lines.append(f"# HELP {name} Engine rounds observed per label.")
+            lines.append(f"# TYPE {name} counter")
+            for label, agg in sorted(tracer.round_labels().items()):
+                lines.append(
+                    f'{name}{{label="{_escape_label(label)}"}} {agg["rounds"]}'
+                )
+            lines.append(
+                f"# HELP {prefix}_engine_rounds_per_sec Hooked engine "
+                "round throughput."
+            )
+            lines.append(f"# TYPE {prefix}_engine_rounds_per_sec gauge")
+            lines.append(
+                f"{prefix}_engine_rounds_per_sec {tracer.rounds_per_sec:.6g}"
+            )
+    if metrics:
+        for instance, metric in sorted(metrics.items()):
+            labels = f'{{instance="{_escape_label(instance)}"}}'
+            for key, value in metric.summary().items():
+                name = f"{prefix}_metrics_{key}"
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name}{labels} {value}")
+    if histograms:
+        for hist_name, hist in sorted(histograms.items()):
+            name = f"{prefix}_{hist_name}_seconds"
+            lines.append(
+                f"# HELP {name} Latency histogram ({hist_name})."
+            )
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(hist.BOUNDS, hist.counts):
+                cumulative += count
+                lines.append(f'{name}_bucket{{le="{bound:.6g}"}} {cumulative}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{name}_sum {hist.sum_s:.9g}")
+            lines.append(f"{name}_count {hist.count}")
+    return "\n".join(lines) + "\n"

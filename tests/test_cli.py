@@ -273,3 +273,83 @@ def test_serve_rejects_rewire_p_on_mismatched_topology(tmp_path):
     with pytest.raises(ConfigurationError, match="--rewire-p"):
         main(["serve", "--input", str(path), "--phi", "0.5",
               "--topology", "ring", "--rewire-p", "0.2"])
+
+
+# ---- observability flags ----------------------------------------------------
+
+
+def _write_values(tmp_path, n=257):
+    import numpy as np
+
+    path = tmp_path / "values.txt"
+    np.savetxt(path, np.arange(1.0, float(n)))
+    return path
+
+
+def test_query_trace_writes_jsonl(tmp_path, capsys):
+    import json
+
+    path = _write_values(tmp_path)
+    trace = tmp_path / "trace.jsonl"
+    assert main(["query", "--input", str(path), "--phi", "0.5", "--eps",
+                 "0.1", "--seed", "1", "--trace", str(trace)]) == 0
+    lines = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert lines, "trace file is empty"
+    spans = [line for line in lines if line["type"] == "span"]
+    assert {"approx_quantile", "two_tournament"} <= {
+        span["name"] for span in spans
+    }
+    assert lines[-1]["type"] == "summary"
+
+
+def test_query_profile_prints_span_tree(tmp_path, capsys):
+    path = _write_values(tmp_path)
+    assert main(["query", "--input", str(path), "--phi", "0.25", "--seed",
+                 "2", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "exact 0.25-quantile = 64.0" in out  # result is unchanged
+    assert "exact_quantile" in out
+    assert "sandwich" in out
+    assert "final_query" in out
+
+
+def test_query_tracing_does_not_change_the_answer(tmp_path, capsys):
+    path = _write_values(tmp_path)
+    assert main(["query", "--input", str(path), "--phi", "0.25",
+                 "--seed", "2"]) == 0
+    baseline = capsys.readouterr().out.splitlines()[0]
+    assert main(["query", "--input", str(path), "--phi", "0.25", "--seed",
+                 "2", "--profile"]) == 0
+    traced = capsys.readouterr().out.splitlines()[0]
+    assert traced == baseline
+
+
+def test_serve_prom_exports_query_latency(tmp_path, capsys):
+    path = _write_values(tmp_path)
+    prom = tmp_path / "metrics.prom"
+    assert main(["serve", "--input", str(path), "--eps", "0.1", "--seed",
+                 "4", "--phi", "0.25", "0.5", "--prom", str(prom)]) == 0
+    text = prom.read_text()
+    assert "# TYPE repro_query_latency_seconds histogram" in text
+    assert "repro_query_latency_seconds_count 2" in text
+    assert 'repro_metrics_queries{instance="service_queries"} 2' in text
+    assert 'repro_span_rounds{span="service_build"}' in text
+
+
+def test_experiment_trace_flag(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.jsonl"
+    assert main(["schedules", "--sizes", "256", "--seed", "3",
+                 "--trace", str(trace)]) == 0
+    lines = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert lines[-1]["type"] == "summary"
+
+
+def test_ranks_profile_flag(tmp_path, capsys):
+    path = _write_values(tmp_path)
+    assert main(["ranks", "--input", str(path), "--eps", "0.2", "--seed",
+                 "4", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "all_ranks" in out
+    assert "grid_chunk" in out

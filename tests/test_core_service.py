@@ -140,6 +140,8 @@ def test_summary_keys(service):
         "queries_answered": 1,
         "query_bits": ANSWER_BITS,
         "sketch_items": 0,
+        "answers_grid": 1,
+        "answers_sketch": 0,
     }
 
 

@@ -267,6 +267,8 @@ def test_single_lane_pull_stream_pinned_to_pre_multilane_tree():
         "total_bits": 63813,
         "max_message_bits": 89,
         "failed_node_rounds": 311,
+        "queries": 0,
+        "query_bits": 0,
     }
 
 

@@ -79,6 +79,8 @@ def test_summary_keys():
         "total_bits",
         "max_message_bits",
         "failed_node_rounds",
+        "queries",
+        "query_bits",
     }
 
 
@@ -115,13 +117,19 @@ def test_record_query_charges_bits_not_rounds():
     assert metrics.total_bits == 5 * 96
     assert metrics.max_message_bits == 96
     assert metrics.rounds == 0
-    # summary stays pinned to the five round-level keys
-    assert set(metrics.summary()) == {
+    # the summary breaks the query cost out instead of silently folding it
+    # into messages / total_bits only
+    summary = metrics.summary()
+    assert summary["queries"] == 5
+    assert summary["query_bits"] == 5 * 96
+    assert set(summary) == {
         "rounds",
         "messages",
         "total_bits",
         "max_message_bits",
         "failed_node_rounds",
+        "queries",
+        "query_bits",
     }
 
 
@@ -140,3 +148,37 @@ def test_merge_folds_query_counts():
     a.merge(b)
     assert a.queries == 5
     assert a.messages == 5
+    assert a.query_bits == 5 * 64
+
+
+def test_counters_tuple_tracks_every_summed_counter():
+    metrics = NetworkMetrics()
+    metrics.begin_round()
+    metrics.record_messages(2, 10)
+    metrics.record_failures(3)
+    metrics.record_query(64, count=4)
+    assert metrics.counters() == (1, 6, 2 * 10 + 4 * 64, 4, 4 * 64, 3)
+
+
+def test_merge_lands_inside_an_open_span_snapshot():
+    """A span over a merge() sees the folded counters as its deltas."""
+    from repro.obs.tracer import Tracer
+
+    target = NetworkMetrics()
+    target.charge_rounds(2)
+    other = NetworkMetrics()
+    other.begin_round()
+    other.record_messages(5, 12)
+    other.record_failures(2)
+    other.record_query(64)
+
+    tracer = Tracer()
+    with tracer.span("merge_window", target):
+        target.merge(other)
+    span = tracer.spans[0]
+    assert span.rounds == other.rounds
+    assert span.messages == other.messages
+    assert span.bits == other.total_bits
+    assert span.queries == other.queries
+    assert span.query_bits == other.query_bits
+    assert span.failed_node_rounds == other.failed_node_rounds
