@@ -70,6 +70,15 @@ IGNORED = (
     "hook_rounds",
     "null_span_ns",
     "projected_overhead_frac",
+    # bench_robustness diagnostics: seeded fault/degradation statistics,
+    # not perf metrics — and queries_per_sec times a handful of
+    # microsecond-scale lookups, far too noisy to gate.
+    "degraded_rate",
+    "chunks_ratio",
+    "rebuild_attempts",
+    "injected_faults",
+    "answered_fraction",
+    "queries_per_sec",
 )
 
 

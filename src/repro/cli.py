@@ -40,6 +40,15 @@ from repro.core.exact_quantile import exact_quantile
 from repro.core.service import QuantileService
 from repro.experiments.churn_sweep import FAILURE_CHOICES
 from repro.experiments.runner import REGISTRY, run_experiment
+from repro.faults import (
+    FAULT_KINDS,
+    CrashRestart,
+    FaultInjector,
+    MessageDelay,
+    MessageDrop,
+    MessageDuplication,
+    ValueCorruption,
+)
 from repro.gossip.engine import ENGINE_CHOICES, get_default_engine, set_default_engine
 from repro.obs import (
     Tracer,
@@ -48,7 +57,12 @@ from repro.obs import (
     use_tracer,
     write_trace_jsonl,
 )
-from repro.topology import TOPOLOGY_CHOICES, build_topology, validate_topology_flags
+from repro.topology import (
+    TOPOLOGY_CHOICES,
+    ChurnProcess,
+    build_topology,
+    validate_topology_flags,
+)
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -128,6 +142,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "--dtype", choices=("float64", "float32"), nargs="+", default=None,
             help="gossip value dtypes to sweep (experiments with a dtype "
                  "axis only; float32 halves the hot-path memory traffic)",
+        )
+        exp.add_argument(
+            "--fault-kinds", choices=FAULT_KINDS, nargs="+", default=None,
+            dest="fault_kinds",
+            help="fault kinds to inject (chaos experiment only)",
+        )
+        exp.add_argument(
+            "--fault-intensity", type=float, nargs="+", default=None,
+            dest="fault_intensity",
+            help="per-round fault probabilities to sweep (chaos "
+                 "experiment only)",
         )
         _add_obs_flags(exp)
 
@@ -231,7 +256,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="attach a mergeable KLL sketch of this capacity for phi "
              "targets finer than the eps-grid",
     )
+    serve.add_argument(
+        "--churn-rate", type=float, default=None, dest="churn_rate",
+        help="per-round departure probability of a churn process stepped "
+             "after the build; stale answers come back widened + degraded",
+    )
+    serve.add_argument(
+        "--churn-rounds", type=int, default=20, dest="churn_rounds",
+        help="how many churn rounds to advance before serving (with "
+             "--churn-rate; default 20)",
+    )
+    serve.add_argument(
+        "--faults", choices=FAULT_KINDS, nargs="+", default=None,
+        help="inject these fault kinds into the build and any rebuilds "
+             "(seeded by --seed; replayable)",
+    )
+    serve.add_argument(
+        "--fault-rate", type=float, default=0.05, dest="fault_rate",
+        help="per-round probability of each injected fault kind "
+             "(default 0.05)",
+    )
+    serve.add_argument(
+        "--rebuild", choices=("off", "auto"), default="off",
+        help="'auto' rebuilds stale grid lanes (a new epoch) when churn "
+             "drift crosses the rebuild threshold",
+    )
     return parser
+
+
+def _build_fault_injector(
+    kinds: Sequence[str], rate: float, seed
+) -> FaultInjector:
+    """One spec per requested kind, all at ``rate``, seeded for replay."""
+    spec_types = {
+        "drop": MessageDrop,
+        "duplicate": MessageDuplication,
+        "delay": MessageDelay,
+        "crash": CrashRestart,
+        "corrupt": ValueCorruption,
+    }
+    return FaultInjector(
+        [spec_types[kind](rate) for kind in kinds], rng=seed
+    )
 
 
 def _experiment_kwargs(args: argparse.Namespace) -> dict:
@@ -270,6 +336,10 @@ def _experiment_kwargs(args: argparse.Namespace) -> dict:
         # forwarded only when given: experiments without a dtype axis keep
         # rejecting the flag with a clear unknown-kwarg error
         kwargs["dtypes"] = tuple(args.dtype)
+    if args.fault_kinds is not None:
+        kwargs["fault_kinds"] = tuple(args.fault_kinds)
+    if args.fault_intensity is not None:
+        kwargs["fault_intensities"] = tuple(args.fault_intensity)
     return kwargs
 
 
@@ -283,13 +353,6 @@ def _run_query(args: argparse.Namespace) -> str:
         rewire_p=args.rewire_p,
         require_topology=True,
     )
-    if args.eps is None and args.topology is not None:
-        # reject before building the (potentially large) topology
-        raise SystemExit(
-            "--topology currently applies to the approximate algorithm "
-            "only; pass --eps (the exact driver's sub-protocols are a "
-            "follow-up, see ROADMAP.md)"
-        )
     topology = None
     if args.topology is not None:
         topology = build_topology(
@@ -300,14 +363,18 @@ def _run_query(args: argparse.Namespace) -> str:
             rng=args.seed,
         )
     if args.eps is None:
+        # The exact driver threads the topology into its approximate
+        # stages (the round-dominating sandwich tournaments + final
+        # query); the auxiliary aggregates stay complete-graph.
         result = exact_quantile(
             values, phi=args.phi, rng=args.seed, fidelity=args.fidelity,
-            dtype=args.dtype,
+            dtype=args.dtype, topology=topology,
         )
+        where = f" on {args.topology}" if topology is not None else ""
         return (
             f"exact {args.phi}-quantile = {result.value} "
             f"(rank {result.target_rank} of {result.n}, {result.rounds} gossip "
-            f"rounds, {result.fidelity})"
+            f"rounds, {result.fidelity}{where})"
         )
     result = approximate_quantile(
         values, phi=args.phi, eps=args.eps, rng=args.seed, topology=topology,
@@ -372,6 +439,13 @@ def _run_serve(args: argparse.Namespace):
     observability exporters can include its query-latency histogram and
     serving metrics."""
     values, topology = _load_values_and_topology(args)
+    faults = None
+    if args.faults:
+        faults = _build_fault_injector(args.faults, args.fault_rate, args.seed)
+    churn = None
+    if args.churn_rate is not None:
+        churn = ChurnProcess(values.size, churn_rate=args.churn_rate,
+                             rng=args.seed)
     service = QuantileService(
         values,
         eps=args.eps,
@@ -383,12 +457,26 @@ def _run_serve(args: argparse.Namespace):
         dtype=args.dtype,
         engine=args.engine,
         sketch_k=args.sketch_k,
+        faults=faults,
+        churn_process=churn,
+        auto_rebuild=(args.rebuild == "auto"),
     )
     lines = []
+    if churn is not None and args.churn_rounds > 0:
+        service.advance_churn(args.churn_rounds)
+        stale = service.stale_lanes()
+        lines.append(
+            f"churn: advanced {args.churn_rounds} rounds "
+            f"({int(np.sum(churn.active))}/{values.size} nodes active, "
+            f"{len(stale)} stale lane(s), "
+            f"{'degraded' if service.degraded else 'fresh'})"
+        )
     for answer in service.batch_quantiles(args.phi):
+        flag = ", degraded" if answer.degraded else ""
         lines.append(
             f"phi={answer.phi:g} -> {answer.value} "
-            f"({answer.source}, rank accuracy ±{answer.accuracy:.4f})"
+            f"({answer.source}, rank accuracy ±{answer.accuracy:.4f}, "
+            f"epoch {answer.epoch}{flag})"
         )
     summary = service.summary()
     lines.append(
@@ -399,6 +487,19 @@ def _run_serve(args: argparse.Namespace):
         f"{summary['queries_answered']} queries for {summary['query_bits']} "
         f"bits — zero additional rounds"
     )
+    if summary["rebuilds"] or summary["answers_degraded"]:
+        lines.append(
+            f"lifecycle: epoch {summary['epoch']}, "
+            f"{summary['rebuilds']} rebuild(s), "
+            f"{summary['answers_degraded']} degraded answer(s), "
+            f"{summary['stale_lanes']} lane(s) still stale"
+        )
+    if faults is not None:
+        injected = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(faults.counters.items())
+            if count
+        )
+        lines.append(f"faults injected: {injected or 'none'}")
     return "\n".join(lines), service
 
 
@@ -430,10 +531,14 @@ def _export_observability(
             metrics["service_gossip"] = service.gossip_metrics
             metrics["service_queries"] = service.query_metrics
             histograms["query_latency"] = service.query_latency
+        faults = {}
+        if service is not None and service.faults is not None:
+            faults["service"] = service.faults
         text = render_prometheus(
             tracer=tracer,
             metrics=metrics or None,
             histograms=histograms or None,
+            faults=faults or None,
         )
         with open(args.prom, "w", encoding="utf-8") as stream:
             stream.write(text)

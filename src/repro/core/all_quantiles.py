@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.approx_quantile import approximate_quantile
 from repro.exceptions import ConfigurationError
+from repro.faults.injectors import FaultInjector
 from repro.gossip.engine import ENGINE_CHOICES, get_default_engine, set_default_engine
 from repro.gossip.failures import FailureModel
 from repro.gossip.metrics import NetworkMetrics
@@ -128,6 +129,7 @@ def estimate_all_ranks(
     engine: Optional[str] = None,
     keep_history: bool = False,
     metrics: Optional[NetworkMetrics] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> AllRanksResult:
     """Let every node estimate the quantile of its own value up to ~±1.5 eps.
 
@@ -169,6 +171,12 @@ def estimate_all_ranks(
         metrics object; alternatively pass an existing ``metrics`` to
         accumulate into (its ``keep_history`` wins).  ``rounds`` and
         ``round_windows`` report only this computation's rounds either way.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` attached to every
+        underlying network.  The injector's private stream is shared across
+        chunks (round indices keep increasing through the shared metrics
+        object), so a seeded chaos schedule spans the whole grid pass and
+        replays bit-for-bit.
     """
     if not 0.0 < eps < 0.5:
         raise ConfigurationError("eps must be in (0, 0.5)")
@@ -205,15 +213,16 @@ def estimate_all_ranks(
         with get_tracer().span("all_ranks", metrics) as span:
             span.annotate(n=n, eps=eps, grid=int(grid.size), fused=fused)
             if fused:
-                grid_values, windows = _run_fused(
+                grid_values, windows = estimate_grid_subset(
                     array, grid, query_accuracy, final_samples, source,
                     failure_model, metrics, max_lanes, topology,
-                    peer_sampling, dtype,
+                    peer_sampling, dtype, faults,
                 )
             else:
                 grid_values, windows = _run_sequential(
                     array, grid, query_accuracy, final_samples, source,
                     failure_model, metrics, topology, peer_sampling, dtype,
+                    faults,
                 )
     finally:
         if engine is not None:
@@ -233,17 +242,33 @@ def estimate_all_ranks(
     )
 
 
-def _run_fused(
-    array, grid, query_accuracy, final_samples, source, failure_model,
-    metrics, max_lanes, topology, peer_sampling, dtype,
+def estimate_grid_subset(
+    array, targets, query_accuracy, final_samples, source, failure_model,
+    metrics, max_lanes, topology=None, peer_sampling="uniform", dtype=None,
+    faults: Optional[FaultInjector] = None,
 ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
-    """Chunked multi-lane execution: one tournament per ``max_lanes`` targets."""
+    """Chunked multi-lane execution: one tournament per ``max_lanes`` targets.
+
+    The fused engine behind :func:`estimate_all_ranks`, exposed so callers
+    that already know *which* grid targets need (re)estimating — notably
+    the :class:`~repro.core.service.QuantileService` incremental epoch
+    rebuild, which re-runs only the lanes whose brackets drifted — can run
+    exactly those lanes without paying for the full grid.  ``targets`` may
+    be any subset of the grid (or arbitrary quantiles); one ``(len(targets),
+    n)`` estimate matrix plus the per-chunk round windows come back.
+
+    Each chunk draws a fresh ``source.child()`` stream and runs under a
+    ``grid_chunk`` tracer span — the same layout as the full pass, so a
+    subset run over the full grid is bit-identical to
+    ``estimate_all_ranks(fused=True)`` under the same seed.
+    """
+    targets = np.asarray(targets, dtype=float)
     n = array.size
     per_grid: List[np.ndarray] = []
     windows: List[Tuple[int, int]] = []
     tracer = get_tracer()
-    for start in range(0, grid.size, max_lanes):
-        chunk = grid[start:start + max_lanes]
+    for start in range(0, targets.size, max_lanes):
+        chunk = targets[start:start + max_lanes]
         lanes = chunk.size
         # Every lane starts from the same value multiset; the network copies
         # the broadcast view into its own (n, lanes) matrix.
@@ -256,6 +281,7 @@ def _run_fused(
             topology=topology,
             peer_sampling=peer_sampling,
             dtype=dtype,
+            faults=faults,
         )
         window_start = metrics.rounds
         with tracer.span("grid_chunk", metrics) as span:
@@ -276,7 +302,7 @@ def _run_fused(
 
 def _run_sequential(
     array, grid, query_accuracy, final_samples, source, failure_model,
-    metrics, topology, peer_sampling, dtype,
+    metrics, topology, peer_sampling, dtype, faults=None,
 ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
     """The pre-fusion reference: one single-lane tournament per grid target.
 
@@ -295,6 +321,7 @@ def _run_sequential(
             topology=topology,
             peer_sampling=peer_sampling,
             dtype=dtype,
+            faults=faults,
         )
         window_start = metrics.rounds
         result = approximate_quantile(

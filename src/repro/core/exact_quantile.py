@@ -146,6 +146,8 @@ def exact_quantile(
     max_retries: int = 16,
     final_samples: int = 15,
     dtype=None,
+    topology=None,
+    peer_sampling: str = "uniform",
 ) -> ExactQuantileResult:
     """Compute the exact φ-quantile (the ``ceil(phi n)``-th smallest value).
 
@@ -170,6 +172,15 @@ def exact_quantile(
         Keys are ranks ≤ n, exactly representable in float32 for
         n < 2²⁴, so the answer is unchanged; the key→value table and the
         returned quantile stay full precision.
+    topology / peer_sampling:
+        Optional gossip topology for the *approximate* stages (the
+        sandwich tournaments of Step 3 and the final query), which
+        dominate the round count.  The auxiliary aggregates — extrema
+        spreading, push-sum counting, token duplication — still run on
+        the complete graph (idealized fidelity charges their proven
+        complete-graph round costs; restricting them is an open item on
+        the roadmap).  ``None`` (default) is the paper's complete-graph
+        model.
 
     Returns
     -------
@@ -184,6 +195,7 @@ def exact_quantile(
             eps_iteration=eps_iteration, failure_model=failure_model,
             max_iterations=max_iterations, max_retries=max_retries,
             final_samples=final_samples, dtype=dtype,
+            topology=topology, peer_sampling=peer_sampling,
         )
     # Bind the root span to the driver's (fresh) metrics object so the
     # span's counter deltas are the whole run's totals; the step spans
@@ -195,7 +207,9 @@ def exact_quantile(
             values, phi, rng=rng, fidelity=fidelity,
             eps_iteration=eps_iteration, failure_model=failure_model,
             max_iterations=max_iterations, max_retries=max_retries,
-            final_samples=final_samples, dtype=dtype, _metrics=metrics,
+            final_samples=final_samples, dtype=dtype,
+            topology=topology, peer_sampling=peer_sampling,
+            _metrics=metrics,
         )
         root.annotate(
             n=result.n,
@@ -216,6 +230,8 @@ def _exact_quantile_impl(
     max_retries: int = 16,
     final_samples: int = 15,
     dtype=None,
+    topology=None,
+    peer_sampling: str = "uniform",
     _metrics: Optional[NetworkMetrics] = None,
 ) -> ExactQuantileResult:
     """The driver body behind :func:`exact_quantile` (same contract)."""
@@ -235,6 +251,10 @@ def _exact_quantile_impl(
         raise ConfigurationError(
             "float32 keys are exact only below 2**24 ranks; use float64 "
             f"for n = {n}"
+        )
+    if topology is not None and topology.n != n:
+        raise ConfigurationError(
+            f"topology has {topology.n} nodes but values has {n}"
         )
     simulate = fidelity == "simulated"
     source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
@@ -267,6 +287,8 @@ def _exact_quantile_impl(
             metrics=metrics,
             keep_history=False,
             dtype=key_dtype,
+            topology=topology,
+            peer_sampling=peer_sampling,
         )
         result = approximate_quantile(
             network=working,
@@ -294,6 +316,8 @@ def _exact_quantile_impl(
             metrics=metrics,
             keep_history=False,
             dtype=key_dtype,
+            topology=topology,
+            peer_sampling=peer_sampling,
         )
         result = approximate_quantile(
             network=working,

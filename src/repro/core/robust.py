@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.schedules import three_tournament_schedule, two_tournament_schedule
 from repro.exceptions import ConfigurationError
+from repro.faults.injectors import FaultInjector
 from repro.gossip.failures import FailureModel, resolve_failure_model
 from repro.gossip.metrics import NetworkMetrics
 from repro.gossip.network import GossipNetwork
@@ -76,6 +77,7 @@ def robust_approximate_quantile(
     final_samples: int = 15,
     extra_spread_rounds: int = 12,
     dtype=None,
+    faults: Optional[FaultInjector] = None,
 ) -> RobustQuantileResult:
     """Theorem 1.4: ε-approximate φ-quantile despite per-round node failures.
 
@@ -94,6 +96,13 @@ def robust_approximate_quantile(
     dtype:
         Value dtype of the underlying gossip network (float64 default,
         float32 opt-in); the returned estimates stay float64.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` layered on top of the
+        Section-5 failure model — the Theorem-1.4 machinery was designed
+        for exactly this abuse: ``pulls_per_iteration`` sizing uses the
+        *combined* suppression bound (``failure_model`` mu unioned with the
+        injector's crash/drop bound) so good-pull counting stays honest
+        under injected chaos.
     """
     if not 0.0 <= phi <= 1.0:
         raise ConfigurationError("phi must be in [0, 1]")
@@ -101,7 +110,12 @@ def robust_approximate_quantile(
         raise ConfigurationError("eps must be in (0, 0.5)")
     model = resolve_failure_model(failure_model)
     if pulls_per_iteration is None:
-        pulls_per_iteration = default_pulls_per_iteration(model.mu)
+        # Size pulls for the union suppression rate: a pull can be lost to
+        # the failure model OR to an injected crash/drop, independently.
+        mu = model.mu
+        if faults is not None:
+            mu = min(1.0 - (1.0 - mu) * (1.0 - faults.mu_bound()), 0.999)
+        pulls_per_iteration = default_pulls_per_iteration(mu)
     if pulls_per_iteration < 3:
         raise ConfigurationError("pulls_per_iteration must be at least 3")
     if final_samples < 1 or final_samples % 2 == 0:
@@ -117,6 +131,7 @@ def robust_approximate_quantile(
         failure_model=model,
         keep_history=False,
         dtype=dtype,
+        faults=faults,
     )
     good = np.ones(n, dtype=bool)
     k_pulls = int(pulls_per_iteration)

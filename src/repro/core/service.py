@@ -21,6 +21,7 @@ the sketch is a per-item stream fold — opt-in, priced at its
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from time import perf_counter
 from typing import List, Optional, Sequence, Union
@@ -31,13 +32,16 @@ from repro.core.all_quantiles import (
     DEFAULT_MAX_LANES,
     AllRanksResult,
     estimate_all_ranks,
+    estimate_grid_subset,
 )
 from repro.exceptions import ConfigurationError
+from repro.faults.injectors import FaultInjector
 from repro.gossip.failures import FailureModel
 from repro.gossip.messages import BITS_HEADER, BITS_PER_VALUE
 from repro.gossip.metrics import NetworkMetrics
 from repro.obs.tracer import LatencyHistogram, get_tracer
 from repro.sketches.kll import KLLSketch
+from repro.topology.dynamic import ChurnProcess
 from repro.topology.graphs import Topology
 from repro.utils.rand import RandomSource
 
@@ -71,6 +75,56 @@ class QueryAnswer:
     source: str
     accuracy: float
     grid_index: Optional[int] = None
+    #: True when the answer comes from an estimate that has gone stale
+    #: under churn / value updates: the reported ``accuracy`` is widened by
+    #: the estimated rank drift, so a degraded answer is never reported
+    #: tighter than the fault-free bound — degraded, but honest.
+    degraded: bool = False
+    #: The service epoch that produced the serving estimate.
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class RebuildReport:
+    """Outcome of one :meth:`QuantileService.rebuild` call.
+
+    Attributes
+    ----------
+    epoch:
+        The epoch in force *after* the rebuild (unchanged if the rebuild
+        could not validate and the service stayed degraded).
+    mode:
+        ``"incremental"`` (stale lanes only) or ``"full"``.
+    lanes_rebuilt:
+        Number of grid lanes whose answers were refreshed.
+    chunks_run:
+        Lane chunks (tournament runs) this rebuild executed — on an
+        incremental rebuild strictly fewer than ``full_chunks`` whenever
+        any lane was still fresh.
+    full_chunks:
+        Lane chunks a full rebuild would have run.
+    attempts:
+        Gossip attempts used (> 1 when injected faults broke validation and
+        the rebuild retried after backoff).
+    backoff_rounds:
+        Rounds charged while backing off between failed attempts.
+    rounds:
+        Gossip rounds the rebuild consumed (including backoff).
+    validated:
+        Whether every rebuilt lane passed the rank self-check; ``False``
+        means some lanes kept their stale answers and the service remains
+        degraded for them.
+    """
+
+    epoch: int
+    mode: str
+    lanes_rebuilt: int
+    chunks_run: int
+    full_chunks: int
+    attempts: int
+    backoff_rounds: int
+    rounds: int
+    validated: bool
 
 
 class QuantileService:
@@ -92,6 +146,33 @@ class QuantileService:
         the value stream is folded at build time and queries whose grid
         bracket is coarser than the sketch's rank-error bound (~``3 / k``)
         are answered from it.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` attached to the build
+        pass *and* every rebuild — the chaos-testing hook.  Rebuilds whose
+        answers fail the rank self-check under injected faults retry with
+        exponential backoff (see ``max_rebuild_retries`` /
+        ``rebuild_backoff``).
+    churn_process:
+        Optional :class:`~repro.topology.dynamic.ChurnProcess` modelling
+        node departures after the build.  :meth:`advance_churn` steps it;
+        departed values then no longer back the served estimates, which the
+        per-lane drift model turns into widened (degraded) answers and,
+        past ``rebuild_threshold``, epoch rebuilds.
+    staleness_threshold:
+        Per-lane rank drift above which a lane's answers are served as
+        degraded (default ``eps / 2``).
+    rebuild_threshold:
+        Max-lane drift above which :meth:`maybe_rebuild` triggers an
+        incremental rebuild (default ``eps``).
+    max_rebuild_retries:
+        Gossip attempts per rebuild before giving up and staying degraded.
+    rebuild_backoff:
+        Rounds charged after a failed rebuild attempt; doubles per retry.
+    auto_rebuild:
+        When True, :meth:`advance_churn` / :meth:`update_value` call
+        :meth:`maybe_rebuild` themselves — the self-healing mode the CLI's
+        ``serve --rebuild auto`` exposes.  Off by default so queries never
+        surprise the caller with gossip rounds.
     """
 
     def __init__(
@@ -110,9 +191,33 @@ class QuantileService:
         engine: Optional[str] = None,
         keep_history: bool = False,
         sketch_k: Optional[int] = None,
+        faults: Optional[FaultInjector] = None,
+        churn_process: Optional[ChurnProcess] = None,
+        staleness_threshold: Optional[float] = None,
+        rebuild_threshold: Optional[float] = None,
+        max_rebuild_retries: int = 3,
+        rebuild_backoff: int = 8,
+        auto_rebuild: bool = False,
     ) -> None:
         source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
+        self._source = source
         self._array = np.asarray(values, dtype=float)
+        if churn_process is not None:
+            if not isinstance(churn_process, ChurnProcess):
+                raise ConfigurationError(
+                    f"churn_process must be a ChurnProcess, got {churn_process!r}"
+                )
+            if churn_process.n != self._array.size:
+                raise ConfigurationError(
+                    f"churn process has {churn_process.n} nodes but values "
+                    f"has {self._array.size}"
+                )
+            if churn_process.active is None:
+                churn_process.begin()
+        if max_rebuild_retries < 1:
+            raise ConfigurationError("max_rebuild_retries must be at least 1")
+        if rebuild_backoff < 0:
+            raise ConfigurationError("rebuild_backoff must be non-negative")
         build_metrics = NetworkMetrics(keep_history=keep_history)
         with get_tracer().span("service_build", build_metrics) as span:
             span.annotate(n=int(self._array.size), eps=float(eps))
@@ -130,11 +235,28 @@ class QuantileService:
                 dtype=dtype,
                 engine=engine,
                 metrics=build_metrics,
+                faults=faults,
             )
         self._eps = float(eps)
         self._query_accuracy = (
             eps / 2.0 if query_accuracy is None else float(query_accuracy)
         )
+        self._failure_model = failure_model
+        self._final_samples = int(final_samples)
+        self._max_lanes = int(max_lanes)
+        self._dtype = dtype
+        self._faults = faults
+        self._churn = churn_process
+        self._staleness_threshold = (
+            self._eps / 2.0 if staleness_threshold is None
+            else float(staleness_threshold)
+        )
+        self._rebuild_threshold = (
+            self._eps if rebuild_threshold is None else float(rebuild_threshold)
+        )
+        self._max_rebuild_retries = int(max_rebuild_retries)
+        self._rebuild_backoff = int(rebuild_backoff)
+        self._auto_rebuild = bool(auto_rebuild)
         # One representative served value per grid lane: the median of the
         # per-node lane outputs (all nodes agree up to the ε guarantee, so
         # the median is a w.h.p.-correct network-level answer).
@@ -147,6 +269,7 @@ class QuantileService:
         self._grid_answers = answers
 
         self._sketch: Optional[KLLSketch] = None
+        self._sketch_k = sketch_k
         if sketch_k is not None:
             with get_tracer().span("sketch_build") as span:
                 span.annotate(k=int(sketch_k), items=int(self._array.size))
@@ -161,6 +284,21 @@ class QuantileService:
         #: Answer-source counters: how many queries each backing store served.
         self.answers_grid = 0
         self.answers_sketch = 0
+        #: How many served answers carried ``degraded=True``.
+        self.answers_degraded = 0
+        #: Completed epoch rebuilds.
+        self.rebuilds = 0
+
+        # -- epoch baseline -------------------------------------------------
+        self.epoch = 0
+        #: Grid lanes whose last rebuild failed validation (kept degraded).
+        self._suspect_lanes: set = set()
+        #: Values updated since the epoch baseline (for the sketch fold).
+        self._pending_updates: List[float] = []
+        #: Cumulative departures folded into the sketch staleness bound.
+        self._sketch_departed = 0
+        self._drift_cache: Optional[np.ndarray] = None
+        self._commit_epoch(advance=False)
 
     # -- build-time facts ---------------------------------------------------------
     @property
@@ -205,10 +343,272 @@ class QuantileService:
         return self.query_metrics.queries
 
     def sketch_accuracy(self) -> Optional[float]:
-        """The sketch's additive rank-error bound as a fraction, if attached."""
+        """The sketch's additive rank-error bound as a fraction, if attached.
+
+        Widened by the fraction of epoch departures: a KLL sketch supports
+        no deletions, so every value that has since left the network stays
+        folded in and can misplace ranks by up to ``1/count`` each.
+        """
         if self._sketch is None or self._sketch.count == 0:
             return None
-        return self._sketch.error_bound() / float(self._sketch.count)
+        base = self._sketch.error_bound() / float(self._sketch.count)
+        return base + self._sketch_staleness()
+
+    def _sketch_staleness(self) -> float:
+        if self._sketch is None or self._sketch.count == 0:
+            return 0.0
+        return self._sketch_departed / float(self._sketch.count)
+
+    # -- the staleness / epoch lifecycle -----------------------------------------
+    @property
+    def churn_process(self) -> Optional[ChurnProcess]:
+        return self._churn
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        return self._faults
+
+    def attach_faults(self, faults: Optional[FaultInjector]) -> None:
+        """Attach (or replace, or with ``None`` detach) the fault injector.
+
+        Subsequent rebuild gossip runs under the new injector; the build
+        already happened, so this is the chaos-starts-mid-life knob — e.g.
+        build clean, then measure how epoch rebuilds behave under injected
+        faults.  Round indices keep increasing through the service metrics,
+        so a schedule wrapping the new injector's specs sees the service's
+        true round clock, not zero.
+        """
+        if faults is not None and not isinstance(faults, FaultInjector):
+            raise ConfigurationError(
+                f"faults must be a FaultInjector, got {faults!r}"
+            )
+        self._faults = faults
+
+    def _active_mask(self) -> np.ndarray:
+        if self._churn is not None and self._churn.active is not None:
+            return self._churn.active
+        return np.ones(self._array.size, dtype=bool)
+
+    def _commit_epoch(self, advance: bool = True) -> None:
+        """Snapshot the current population as the fresh-epoch baseline."""
+        active = self._active_mask()
+        if advance:
+            # Departures relative to the *previous* baseline go stale in
+            # the sketch forever (no deletions); fold updates as a delta
+            # sketch merged across the epoch boundary.
+            self._sketch_departed += int(
+                np.count_nonzero(self._epoch_active & ~active)
+            )
+            if self._sketch is not None and self._pending_updates:
+                delta = KLLSketch(k=self._sketch_k, rng=self._source.child())
+                delta.extend(self._pending_updates)
+                self._sketch.merge(delta)
+            self.epoch += 1
+        self._epoch_active = active.copy()
+        self._epoch_sorted = np.sort(self._array[active])
+        self._pending_updates = []
+        self._suspect_lanes.clear()
+        self._drift_cache = None
+
+    def advance_churn(self, rounds: int = 1) -> Optional[RebuildReport]:
+        """Step the attached churn process ``rounds`` rounds forward.
+
+        Departed nodes' values stop backing the served estimates, which
+        shows up as per-lane rank drift (→ degraded answers) and, with
+        ``auto_rebuild``, as an automatic :meth:`maybe_rebuild`.
+        """
+        if self._churn is None:
+            raise ConfigurationError(
+                "no churn process attached; construct the service with "
+                "churn_process="
+            )
+        if rounds < 0:
+            raise ConfigurationError("rounds must be non-negative")
+        start = self._churn.rounds_generated
+        for offset in range(rounds):
+            self._churn.round_state(start + offset)
+        self._drift_cache = None
+        if self._auto_rebuild:
+            return self.maybe_rebuild()
+        return None
+
+    def update_value(self, index: int, value: float) -> Optional[RebuildReport]:
+        """Replace one node's value (a stream update at that node).
+
+        The grid answers are *not* recomputed — the drift model prices the
+        divergence and the epoch machinery decides when a rebuild pays.
+        """
+        if not 0 <= int(index) < self._array.size:
+            raise ConfigurationError(
+                f"index must be in [0, {self._array.size}), got {index}"
+            )
+        self._array[int(index)] = float(value)
+        self._pending_updates.append(float(value))
+        self._drift_cache = None
+        if self._auto_rebuild:
+            return self.maybe_rebuild()
+        return None
+
+    def lane_drift(self) -> np.ndarray:
+        """Estimated rank drift of each grid lane since its epoch baseline.
+
+        For lane ``j`` serving value ``v_j``: the absolute change in the
+        fraction of *currently active* values below ``v_j`` versus the
+        fraction at the epoch snapshot — how far the answer's rank has
+        moved under departures and value updates.  Lanes whose answers are
+        non-finite (a faulted build) or failed their last rebuild
+        validation report infinite drift.
+        """
+        if self._drift_cache is not None:
+            return self._drift_cache
+        answers = self._grid_answers
+        active = self._active_mask()
+        now = np.sort(self._array[active])
+        below_now = np.searchsorted(now, answers, side="left") / max(now.size, 1)
+        below_epoch = np.searchsorted(
+            self._epoch_sorted, answers, side="left"
+        ) / max(self._epoch_sorted.size, 1)
+        drift = np.abs(below_now - below_epoch)
+        drift[~np.isfinite(answers)] = np.inf
+        for lane in self._suspect_lanes:
+            drift[lane] = np.inf
+        self._drift_cache = drift
+        return drift
+
+    def stale_lanes(self) -> np.ndarray:
+        """Indices of grid lanes whose drift exceeds the staleness threshold."""
+        return np.flatnonzero(self.lane_drift() > self._staleness_threshold)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any part of the serving state is currently stale."""
+        if self._grid_answers.size and self.stale_lanes().size:
+            return True
+        return self._sketch_staleness() > self._staleness_threshold
+
+    def maybe_rebuild(self) -> Optional[RebuildReport]:
+        """Rebuild incrementally iff drift crossed the rebuild threshold."""
+        drift = self.lane_drift()
+        finite = drift[np.isfinite(drift)]
+        worst = float(finite.max()) if finite.size else 0.0
+        if np.any(np.isinf(drift)) or worst > self._rebuild_threshold:
+            return self.rebuild(incremental=True)
+        return None
+
+    def rebuild(self, incremental: bool = True) -> RebuildReport:
+        """Re-estimate stale grid lanes (or the full grid) as a new epoch.
+
+        Incremental mode re-runs only the lane chunks whose brackets moved
+        — strictly fewer tournament runs than a full build whenever any
+        lane is still fresh.  Each attempt's answers must pass a rank
+        self-check against the current active values; attempts broken by
+        injected faults are retried after charging exponential-backoff
+        rounds, and after ``max_rebuild_retries`` failures the old answers
+        stay in place (degraded, but the service keeps answering).
+        """
+        grid = self._result.grid
+        metrics = self.gossip_metrics
+        full_chunks = (
+            int(math.ceil(grid.size / self._max_lanes)) if grid.size else 0
+        )
+        if incremental:
+            lanes = self.stale_lanes()
+            mode = "incremental"
+        else:
+            lanes = np.arange(grid.size)
+            mode = "full"
+        if lanes.size == 0:
+            # Nothing stale: refresh the baseline (a free epoch commit).
+            self._commit_epoch()
+            self.rebuilds += 1
+            return RebuildReport(
+                epoch=self.epoch, mode=mode, lanes_rebuilt=0, chunks_run=0,
+                full_chunks=full_chunks, attempts=0, backoff_rounds=0,
+                rounds=0, validated=True,
+            )
+
+        active = self._active_mask()
+        array = self._array[active]
+        targets = grid[lanes]
+        sorted_now = np.sort(array)
+        rounds_before = metrics.rounds
+        chunks_run = 0
+        backoff_rounds = 0
+        attempts = 0
+        answers = None
+        valid = None
+        tracer = get_tracer()
+        while attempts < self._max_rebuild_retries:
+            attempts += 1
+            with tracer.span("service_rebuild", metrics) as span:
+                span.annotate(
+                    epoch=self.epoch, mode=mode, lanes=int(lanes.size),
+                    attempt=attempts,
+                )
+                grid_values, windows = estimate_grid_subset(
+                    array, targets, self._query_accuracy,
+                    self._final_samples, self._source.child(),
+                    self._failure_model, metrics, self._max_lanes,
+                    dtype=self._dtype, faults=self._faults,
+                )
+            chunks_run += len(windows)
+            answers = self._lane_answers(grid_values)
+            valid = self._validate_answers(sorted_now, targets, answers)
+            if bool(valid.all()):
+                break
+            if attempts < self._max_rebuild_retries:
+                # Exponential backoff, charged as real rounds: the round
+                # index advances deterministically past e.g. a Burst fault
+                # window, so the retry meets a different fault schedule.
+                wait = self._rebuild_backoff * (2 ** (attempts - 1))
+                metrics.charge_rounds(wait, label="rebuild_backoff")
+                backoff_rounds += wait
+
+        self._grid_answers[lanes[valid]] = answers[valid]
+        validated = bool(valid.all())
+        if validated:
+            self._commit_epoch()
+        else:
+            # Partial: refreshed lanes serve the new answers, failed lanes
+            # stay pinned stale so the degradation remains visible.
+            self._suspect_lanes.update(int(lane) for lane in lanes[~valid])
+            self._drift_cache = None
+        self.rebuilds += 1
+        return RebuildReport(
+            epoch=self.epoch, mode=mode, lanes_rebuilt=int(valid.sum()),
+            chunks_run=chunks_run, full_chunks=full_chunks,
+            attempts=attempts, backoff_rounds=backoff_rounds,
+            rounds=metrics.rounds - rounds_before, validated=validated,
+        )
+
+    @staticmethod
+    def _lane_answers(grid_values: np.ndarray) -> np.ndarray:
+        """Median-of-nodes representative answer per lane (NaN when empty)."""
+        answers = np.empty(grid_values.shape[0], dtype=float)
+        for row in range(grid_values.shape[0]):
+            lane = grid_values[row]
+            finite = lane[np.isfinite(lane)]
+            answers[row] = float(np.median(finite)) if finite.size else float("nan")
+        return answers
+
+    def _validate_answers(
+        self, sorted_now: np.ndarray, targets: np.ndarray, answers: np.ndarray
+    ) -> np.ndarray:
+        """Rank self-check: does each answer sit near its target quantile?
+
+        Tolerance ``eps + query_accuracy``: a clean tournament is accurate
+        to ``query_accuracy`` w.h.p., so honest answers pass with slack
+        while fault-corrupted or starved lanes (NaN / displaced values)
+        fail and trigger the retry path.
+        """
+        n = max(sorted_now.size, 1)
+        left = np.searchsorted(sorted_now, answers, side="left")
+        right = np.searchsorted(sorted_now, answers, side="right")
+        rank = (left + right) / (2.0 * n)
+        tolerance = self._eps + self._query_accuracy
+        with np.errstate(invalid="ignore"):
+            ok = np.abs(rank - targets) <= tolerance
+        return ok & np.isfinite(answers)
 
     # -- the serving surface ------------------------------------------------------
     def quantile(self, phi: float, prefer: str = "auto") -> QueryAnswer:
@@ -243,6 +643,8 @@ class QuantileService:
                 value=float(self._sketch.query(phi)),
                 source="sketch",
                 accuracy=float(sketch_bound),
+                degraded=self._sketch_staleness() > self._staleness_threshold,
+                epoch=self.epoch,
             )
         elif grid_answer is not None:
             answer = grid_answer
@@ -256,6 +658,8 @@ class QuantileService:
             self.answers_sketch += 1
         else:
             self.answers_grid += 1
+        if answer.degraded:
+            self.answers_degraded += 1
         self.query_latency.observe(perf_counter() - started)
         return answer
 
@@ -275,14 +679,26 @@ class QuantileService:
         started = perf_counter()
         below = int(np.count_nonzero(self._grid_answers < float(value)))
         estimate = float(np.clip((below + 0.5) * self._eps, 0.0, 1.0))
+        accuracy = self._eps + self._query_accuracy
+        # Rank-of uses the whole ladder, so the *worst* lane drift widens
+        # the bound (capped at 1: a rank error can't exceed the unit range).
+        drift = self.lane_drift()
+        worst = float(min(np.max(drift, initial=0.0), 1.0))
+        stale = worst > self._staleness_threshold
+        if stale:
+            accuracy += worst
         answer = QueryAnswer(
             phi=estimate,
             value=float(value),
             source="grid",
-            accuracy=self._eps + self._query_accuracy,
+            accuracy=accuracy,
+            degraded=stale,
+            epoch=self.epoch,
         )
         self.query_metrics.record_query(ANSWER_BITS)
         self.answers_grid += 1
+        if answer.degraded:
+            self.answers_degraded += 1
         self.query_latency.observe(perf_counter() - started)
         return answer
 
@@ -296,12 +712,23 @@ class QuantileService:
             return None
         index = int(np.argmin(np.abs(grid - phi)))
         distance = float(abs(grid[index] - phi))
+        accuracy = distance + self._query_accuracy
+        # A stale lane answers with its bound widened by the estimated rank
+        # drift (capped at 1), never tighter than the fault-free bound —
+        # and the auto source selection then naturally prefers a fresher
+        # sketch over a drifted grid lane.
+        lane_drift = float(min(self.lane_drift()[index], 1.0))
+        stale = lane_drift > self._staleness_threshold
+        if stale:
+            accuracy += lane_drift
         return QueryAnswer(
             phi=float(phi),
             value=float(self._grid_answers[index]),
             source="grid",
-            accuracy=distance + self._query_accuracy,
+            accuracy=accuracy,
             grid_index=index,
+            degraded=stale,
+            epoch=self.epoch,
         )
 
     def summary(self) -> dict:
@@ -319,6 +746,10 @@ class QuantileService:
             "sketch_items": self._sketch.size if self._sketch else 0,
             "answers_grid": self.answers_grid,
             "answers_sketch": self.answers_sketch,
+            "epoch": self.epoch,
+            "rebuilds": self.rebuilds,
+            "answers_degraded": self.answers_degraded,
+            "stale_lanes": int(self.stale_lanes().size),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

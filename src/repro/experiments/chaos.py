@@ -1,0 +1,261 @@
+"""E13 — chaos: serving quantiles through churn, drift and injected faults.
+
+Lifecycle exercised per trial (the robustness story end to end):
+
+1. build a :class:`~repro.core.service.QuantileService` **fault-free**;
+2. run a seeded :class:`~repro.topology.dynamic.ChurnProcess` for
+   ``churn_rounds`` and shift a fraction of the surviving values upward —
+   uniform churn alone preserves the distribution in expectation, so the
+   shift is what actually moves ranks and makes lanes stale;
+3. measure the *degraded* regime: how many answers carry the degraded
+   flag, and the true rank error of the served values against the current
+   active population;
+4. attach a :class:`~repro.faults.FaultInjector` at the row's intensity
+   (chaos starts mid-life) and run an incremental epoch rebuild through
+   it — recording retry attempts, the incremental-vs-full chunk ratio and
+   whether validation passed;
+5. re-measure: post-rebuild degraded rate and rank error.
+
+Expected shape: rank error and degraded rate drop back to the ε regime
+after the rebuild at low intensities; at high intensities rebuild retries
+climb and validation starts failing, but every query is still answered
+(degraded, never an exception).  All trials dispatch through the parallel
+trial executor, so rows are identical for any ``workers`` count.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.service import QuantileService
+from repro.datasets.generators import distinct_uniform
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    FAULT_KINDS,
+    CrashRestart,
+    FaultInjector,
+    MessageDelay,
+    MessageDrop,
+    MessageDuplication,
+    ValueCorruption,
+)
+from repro.topology import ChurnProcess
+from repro.utils.rand import RandomSource
+
+COLUMNS = [
+    "n",
+    "faults",
+    "intensity",
+    "churn_rate",
+    "trials",
+    "degraded_pre",
+    "rank_err_pre",
+    "rebuild_attempts",
+    "chunks_ratio",
+    "validated_fraction",
+    "degraded_post",
+    "rank_err_post",
+    "injected",
+]
+
+#: The rank targets every trial queries before and after the rebuild.
+PROBE_PHIS = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+_SPEC_TYPES = {
+    "drop": MessageDrop,
+    "duplicate": MessageDuplication,
+    "delay": MessageDelay,
+    "crash": CrashRestart,
+    "corrupt": ValueCorruption,
+}
+
+
+def build_injector(
+    kinds: Sequence[str], intensity: float, rng
+) -> FaultInjector:
+    """One spec per kind, all at ``intensity``; seeded for exact replay."""
+    unknown = sorted(set(kinds) - set(FAULT_KINDS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fault kind(s) {unknown}; choose from {FAULT_KINDS}"
+        )
+    return FaultInjector(
+        [_SPEC_TYPES[kind](intensity) for kind in kinds], rng=rng
+    )
+
+
+def _rank_error(
+    values: np.ndarray, active: np.ndarray, answers
+) -> Tuple[float, float]:
+    """(mean rank error, degraded fraction) of answers vs the live multiset.
+
+    The error of one answer is the distance of its target ``phi`` from the
+    rank *interval* its value occupies in the sorted active population (0
+    when phi falls inside the tie range), matching the service's own
+    rebuild validation rule.
+    """
+    live = np.sort(values[active])
+    m = live.size
+    errors = []
+    degraded = 0
+    for answer in answers:
+        degraded += int(answer.degraded)
+        if not np.isfinite(answer.value):
+            errors.append(1.0)
+            continue
+        left = np.searchsorted(live, answer.value, side="left") / m
+        right = np.searchsorted(live, answer.value, side="right") / m
+        errors.append(max(0.0, left - answer.phi, answer.phi - right))
+    return float(np.mean(errors)), degraded / float(len(answers))
+
+
+def _run_cell(
+    grid: Tuple[Tuple[int, float, float], ...],
+    fault_kinds: Tuple[str, ...],
+    churn_rounds: int,
+    shift_fraction: float,
+    eps: float,
+    max_lanes: int,
+    trial_index: int,
+    rng: RandomSource,
+) -> Dict[str, float]:
+    """One (n, churn_rate, intensity) trial; module-level for process pools."""
+    n, churn_rate, intensity = grid[trial_index]
+    values = distinct_uniform(n, rng=rng.child())
+    churn = ChurnProcess(n, churn_rate=churn_rate, rng=rng.child())
+    service = QuantileService(
+        values,
+        eps=eps,
+        rng=rng.child(),
+        max_lanes=max_lanes,
+        churn_process=churn,
+    )
+
+    # Phase 2: churn + a genuine distribution shift.  ``values`` is kept in
+    # lockstep with the service's internal array so the rank-error probe
+    # scores answers against the population the service actually serves.
+    service.advance_churn(churn_rounds)
+    active = churn.active.copy()
+    survivors = np.flatnonzero(active)
+    shift_rng = rng.child()
+    shifted = shift_rng.choice(
+        survivors, size=max(1, int(shift_fraction * survivors.size)),
+        replace=False,
+    )
+    span = float(values.max() - values.min())
+    for index in shifted:
+        new_value = float(values[index] + 0.5 * span)
+        values[index] = new_value
+        service.update_value(int(index), new_value)
+
+    pre_err, pre_degraded = _rank_error(
+        values, active, [service.quantile(phi) for phi in PROBE_PHIS]
+    )
+
+    # Phase 4: chaos starts mid-life — the rebuild runs under the injector.
+    service.attach_faults(
+        build_injector(fault_kinds, intensity, rng.child())
+    )
+    report = service.rebuild(incremental=True)
+    chunks_ratio = (
+        report.chunks_run / report.full_chunks if report.full_chunks else 0.0
+    )
+
+    post_err, post_degraded = _rank_error(
+        values, churn.active, [service.quantile(phi) for phi in PROBE_PHIS]
+    )
+    injected = sum(service.faults.counters.values())
+    return {
+        "degraded_pre": pre_degraded,
+        "rank_err_pre": pre_err,
+        "attempts": float(report.attempts),
+        "chunks_ratio": chunks_ratio,
+        "validated": float(report.validated),
+        "degraded_post": post_degraded,
+        "rank_err_post": post_err,
+        "injected": float(injected),
+    }
+
+
+def run(
+    sizes: Sequence[int] = (512,),
+    fault_kinds: Sequence[str] = ("drop", "crash"),
+    fault_intensities: Sequence[float] = (0.0, 0.05, 0.2),
+    churn_rates: Sequence[float] = (0.05,),
+    churn_rounds: int = 30,
+    shift_fraction: float = 0.3,
+    eps: float = 0.1,
+    max_lanes: int = 4,
+    trials: int = 2,
+    seed: int = 23,
+    workers: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Run experiment E13; one row per (n, churn_rate, fault intensity)."""
+    from repro.experiments.runner import run_trials
+
+    kinds = tuple(fault_kinds)
+    unknown = sorted(set(kinds) - set(FAULT_KINDS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fault kind(s) {unknown}; choose from {FAULT_KINDS}"
+        )
+    for intensity in fault_intensities:
+        if not 0.0 <= intensity <= 1.0:
+            raise ConfigurationError(
+                f"fault intensity must be in [0, 1], got {intensity}"
+            )
+    if not 0.0 <= shift_fraction <= 1.0:
+        raise ConfigurationError(
+            f"shift_fraction must be in [0, 1], got {shift_fraction}"
+        )
+
+    configs: List[Tuple[int, float, float]] = []
+    for n in sizes:
+        for rate in churn_rates:
+            for intensity in fault_intensities:
+                configs.append((n, rate, intensity))
+    grid = tuple(config for config in configs for _ in range(trials))
+
+    task = partial(
+        _run_cell, grid, kinds, churn_rounds, shift_fraction, eps, max_lanes
+    )
+    outcomes = run_trials(task, len(grid), seed=seed, workers=workers)
+
+    rows: List[Dict[str, float]] = []
+    for index, (n, rate, intensity) in enumerate(configs):
+        batch = outcomes[index * trials : (index + 1) * trials]
+        rows.append(
+            {
+                "n": n,
+                "faults": "+".join(kinds),
+                "intensity": intensity,
+                "churn_rate": rate,
+                "trials": trials,
+                "degraded_pre": float(
+                    np.mean([b["degraded_pre"] for b in batch])
+                ),
+                "rank_err_pre": float(
+                    np.mean([b["rank_err_pre"] for b in batch])
+                ),
+                "rebuild_attempts": float(
+                    np.mean([b["attempts"] for b in batch])
+                ),
+                "chunks_ratio": float(
+                    np.mean([b["chunks_ratio"] for b in batch])
+                ),
+                "validated_fraction": float(
+                    np.mean([b["validated"] for b in batch])
+                ),
+                "degraded_post": float(
+                    np.mean([b["degraded_post"] for b in batch])
+                ),
+                "rank_err_post": float(
+                    np.mean([b["rank_err_post"] for b in batch])
+                ),
+                "injected": float(np.mean([b["injected"] for b in batch])),
+            }
+        )
+    return rows

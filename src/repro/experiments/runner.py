@@ -26,6 +26,7 @@ from repro.experiments import (
     ablations,
     approx_rounds,
     baselines_compare,
+    chaos,
     churn_sweep,
     exact_rounds,
     exact_scale,
@@ -141,6 +142,13 @@ REGISTRY: Dict[str, ExperimentSpec] = {
         description="Convergence under churn and newscast-style edge resampling",
         run=churn_sweep.run,
         columns=churn_sweep.COLUMNS,
+    ),
+    "chaos": ExperimentSpec(
+        name="chaos",
+        claim="Graceful degradation",
+        description="Degraded serving and epoch rebuilds under churn + injected faults",
+        run=chaos.run,
+        columns=chaos.COLUMNS,
     ),
 }
 

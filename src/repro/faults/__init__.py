@@ -1,0 +1,35 @@
+"""``repro.faults`` — composable, seeded, replayable fault injection.
+
+See :mod:`repro.faults.injectors` for the fault vocabulary (message drop /
+duplication / bounded delay, node crash-and-restart, byzantine-lite value
+corruption) and :mod:`repro.faults.schedules` for the burst / ramp /
+degree-targeted schedule combinators.
+"""
+
+from repro.faults.injectors import (
+    FAULT_KINDS,
+    CrashRestart,
+    FaultInjector,
+    FaultSpec,
+    MessageDelay,
+    MessageDrop,
+    MessageDuplication,
+    RoundFaults,
+    ValueCorruption,
+)
+from repro.faults.schedules import Burst, Ramp, TargetedByDegree
+
+__all__ = [
+    "FAULT_KINDS",
+    "Burst",
+    "CrashRestart",
+    "FaultInjector",
+    "FaultSpec",
+    "MessageDelay",
+    "MessageDrop",
+    "MessageDuplication",
+    "Ramp",
+    "RoundFaults",
+    "TargetedByDegree",
+    "ValueCorruption",
+]

@@ -1,0 +1,141 @@
+"""Schedule combinators: shape *when* and *where* fault specs fire.
+
+A schedule wraps any :class:`~repro.faults.injectors.FaultSpec` (including
+another schedule — they nest) and reshapes its per-round, per-node
+intensity while forwarding every other attribute (``max_delay``,
+``downtime``, ``magnitude``, ``reset_values``) to the wrapped spec:
+
+* :class:`Burst` — full intensity inside a round window, zero outside.
+  The classic chaos shape: a partition or rack failure with a start and an
+  end.
+* :class:`Ramp` — intensity scales linearly from 0 to 1 over the first
+  ``rounds`` rounds (grey failure / progressive overload).
+* :class:`TargetedByDegree` — per-node intensity weighted by graph degree
+  (``"degree"``: hubs fault more, the attack-the-well-connected scenario;
+  ``"inverse-degree"``: flaky leaf devices), normalised so the most
+  targeted node fires at the spec's full intensity.  Mirrors
+  :class:`~repro.gossip.failures.TopologyFailures` for the richer fault
+  vocabulary.
+
+Composition is list-valued at the injector:
+``FaultInjector([Burst(MessageDrop(0.5), 10, 30), CrashRestart(0.01)])``
+runs both schedules on one private seeded stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.faults.injectors import FaultSpec
+
+
+class _Wrapper(FaultSpec):
+    """Base schedule: delegates kind and extra attributes to the spec."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        if not isinstance(spec, FaultSpec):
+            raise ConfigurationError(
+                f"schedules wrap FaultSpec instances, got {spec!r}"
+            )
+        self.spec = spec
+        self.kind = spec.kind
+
+    def __getattr__(self, name):
+        # Forward max_delay / downtime / magnitude / reset_values / p to the
+        # wrapped spec so the injector reads them through any nesting.
+        return getattr(self.__dict__["spec"], name)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec!r})"
+
+
+class Burst(_Wrapper):
+    """Full intensity for rounds in ``[start, stop)``, zero elsewhere."""
+
+    def __init__(self, spec: FaultSpec, start: int, stop: int) -> None:
+        super().__init__(spec)
+        if not 0 <= int(start) < int(stop):
+            raise ConfigurationError(
+                f"need 0 <= start < stop, got [{start}, {stop})"
+            )
+        self.start = int(start)
+        self.stop = int(stop)
+
+    def probabilities(self, round_index: int, n: int) -> np.ndarray:
+        if self.start <= round_index < self.stop:
+            return self.spec.probabilities(round_index, n)
+        return np.zeros(n)
+
+    def __repr__(self) -> str:
+        return f"Burst({self.spec!r}, [{self.start}, {self.stop}))"
+
+
+class Ramp(_Wrapper):
+    """Intensity grows linearly from 0 at round 0 to full at ``rounds``."""
+
+    def __init__(self, spec: FaultSpec, rounds: int) -> None:
+        super().__init__(spec)
+        if int(rounds) < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        self.rounds = int(rounds)
+
+    def probabilities(self, round_index: int, n: int) -> np.ndarray:
+        scale = min(1.0, max(0.0, (round_index + 1) / self.rounds))
+        return self.spec.probabilities(round_index, n) * scale
+
+    def __repr__(self) -> str:
+        return f"Ramp({self.spec!r}, rounds={self.rounds})"
+
+
+class TargetedByDegree(_Wrapper):
+    """Per-node intensity weighted by graph degree.
+
+    Parameters
+    ----------
+    spec:
+        The wrapped fault spec; its intensity becomes the *maximum*
+        per-node intensity.
+    topology:
+        A :class:`~repro.topology.graphs.Topology` (anything exposing a
+        ``degrees`` array) or the degree array itself.
+    mode:
+        ``"degree"`` — hubs fault more (weights ∝ degree);
+        ``"inverse-degree"`` — poorly connected nodes fault more.
+    """
+
+    MODES = ("degree", "inverse-degree")
+
+    def __init__(self, spec: FaultSpec, topology, mode: str = "degree") -> None:
+        super().__init__(spec)
+        if mode not in self.MODES:
+            raise ConfigurationError(
+                f"unknown targeting mode {mode!r}; choose from {self.MODES}"
+            )
+        degrees = np.asarray(
+            getattr(topology, "degrees", topology), dtype=float
+        )
+        if degrees.ndim != 1 or degrees.size < 2:
+            raise ConfigurationError(
+                "degrees must be a 1-d array of length >= 2"
+            )
+        if np.any(degrees < 1):
+            raise ConfigurationError(
+                "degree targeting needs every node to have degree >= 1"
+            )
+        if mode == "degree":
+            self.weights = degrees / degrees.max()
+        else:
+            self.weights = degrees.min() / degrees
+        self.mode = mode
+
+    def probabilities(self, round_index: int, n: int) -> np.ndarray:
+        if self.weights.shape[0] != n:
+            raise ConfigurationError(
+                f"degree weights cover {self.weights.shape[0]} nodes, "
+                f"round has {n}"
+            )
+        return self.spec.probabilities(round_index, n) * self.weights
+
+    def __repr__(self) -> str:
+        return f"TargetedByDegree({self.spec!r}, mode={self.mode!r})"

@@ -25,6 +25,7 @@ from typing import Any, Callable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ConvergenceError, ProtocolError
+from repro.faults.injectors import FaultInjector
 from repro.gossip.failures import FailureModel, NoFailures, resolve_failure_model
 from repro.gossip.messages import payload_bits
 from repro.gossip.metrics import NetworkMetrics, RoundRecord
@@ -151,10 +152,15 @@ def _begin_run(
     topology: Optional[Topology],
     peer_sampling: str,
     topology_process: Optional[TopologyProcess],
+    faults: Optional[FaultInjector] = None,
 ) -> Tuple[RandomSource, FailureModel, NetworkMetrics, Optional[PeerSampler]]:
     source = rng if isinstance(rng, RandomSource) else RandomSource(rng)
     failures = resolve_failure_model(failure_model)
     stats = metrics if metrics is not None else NetworkMetrics()
+    if faults is not None and not isinstance(faults, FaultInjector):
+        raise ConfigurationError(
+            f"faults must be a FaultInjector, got {faults!r}"
+        )
     if topology_process is not None:
         if topology is not None:
             raise ConfigurationError(
@@ -203,6 +209,7 @@ def _begin_round(
     stats: NetworkMetrics,
     sampler: Optional[PeerSampler],
     process: Optional[TopologyProcess] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> Tuple[RoundRecord, np.ndarray, np.ndarray]:
     """Shared per-round prologue: accounting, failure mask, partner draw.
 
@@ -212,9 +219,18 @@ def _begin_round(
     into the failure mask — they neither act nor, because process samplers
     only return active targets, receive — and the partner draw still
     consumes the engine's stream, keeping loop and vectorized runs aligned.
+
+    The three robustness inputs compose by OR: a node is out of a round if
+    its Section-5 failure mask fires, *or* the topology process marks it
+    departed, *or* an attached fault injector suppresses it (crash/drop).
+    Each draws from its own stream — the failure model from the engine's,
+    process and injector from their private ones — so composing them never
+    shifts the others' draws.  The message-level fault kinds (duplication,
+    delay, corruption) have no engine-level meaning; they apply only on
+    the :class:`~repro.gossip.network.GossipNetwork` pull surface.
     """
     record = stats.begin_round(label=protocol.name)
-    if process is None and isinstance(failures, NoFailures):
+    if process is None and faults is None and isinstance(failures, NoFailures):
         # Failure-free fast path: a shared read-only all-False mask, no
         # per-round mask allocation or failure-count scan.
         stats.record_failures(0, record)
@@ -225,6 +241,10 @@ def _begin_round(
         state = process.round_state(round_index)
         failed = failed | ~state.active
         sampler = state.sampler
+    if faults is not None:
+        round_faults = faults.draw(round_index, n)
+        failed = failed | round_faults.suppressed
+        stats.record_faults_injected(round_faults.injected)
     stats.record_failures(int(failed.sum()), record)
     partners = sampler.draw_round(source)
     return record, failed, partners
@@ -241,6 +261,7 @@ def run_protocol_loop(
     peer_sampling: str = "uniform",
     topology_process: Optional[TopologyProcess] = None,
     on_round: Optional[Callable[[RoundRecord, float], None]] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> EngineResult:
     """Run ``protocol`` on the per-node reference engine.
 
@@ -278,11 +299,16 @@ def run_protocol_loop(
         tracer's hook (``None`` — free — unless a tracer is installed).
         Observation only: the hook runs after all of the round's RNG draws,
         so seeded executions are bit-identical with or without it.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`.  Its act-suppression
+        kinds (crash-and-restart, message drop) OR into the failure mask;
+        failure model, topology process and injector compose freely because
+        each draws from its own stream (see :func:`_begin_round`).
     """
     n = protocol.n
     source, failures, stats, sampler = _begin_run(
         protocol, rng, failure_model, metrics, topology, peer_sampling,
-        topology_process,
+        topology_process, faults,
     )
     hook = on_round if on_round is not None else get_tracer().on_round
 
@@ -293,7 +319,7 @@ def run_protocol_loop(
             round_started = perf_counter()
         record, failed, partners = _begin_round(
             protocol, round_index, n, source, failures, stats, sampler,
-            topology_process,
+            topology_process, faults,
         )
 
         actions: List[Optional[Action]] = [None] * n
@@ -348,6 +374,7 @@ def run_protocol_vectorized(
     peer_sampling: str = "uniform",
     topology_process: Optional[TopologyProcess] = None,
     on_round: Optional[Callable[[RoundRecord, float], None]] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> EngineResult:
     """Run a batch-capable protocol one whole round per numpy operation.
 
@@ -356,7 +383,9 @@ def run_protocol_vectorized(
     a handful of array operations instead of ``O(n)`` Python calls.
     ``on_round`` observes rounds exactly as on the loop engine (same
     record contents, same invocation count), so hook-driven convergence
-    traces are engine-agnostic.
+    traces are engine-agnostic.  ``failure_model`` / ``topology_process`` /
+    ``faults`` compose exactly as on the loop engine (OR of the three
+    masks, independent streams), so the equivalence holds under any mix.
     """
     if not supports_batch(protocol):
         raise ProtocolError(
@@ -366,7 +395,7 @@ def run_protocol_vectorized(
     n = protocol.n
     source, failures, stats, sampler = _begin_run(
         protocol, rng, failure_model, metrics, topology, peer_sampling,
-        topology_process,
+        topology_process, faults,
     )
     hook = on_round if on_round is not None else get_tracer().on_round
 
@@ -377,7 +406,7 @@ def run_protocol_vectorized(
             round_started = perf_counter()
         record, failed, partners = _begin_round(
             protocol, round_index, n, source, failures, stats, sampler,
-            topology_process,
+            topology_process, faults,
         )
         # rounds without failures reuse a shared all-True mask and skip the
         # negation and population-count passes
@@ -436,6 +465,7 @@ def run_protocol(
     peer_sampling: str = "uniform",
     topology_process: Optional[TopologyProcess] = None,
     on_round: Optional[Callable[[RoundRecord, float], None]] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> EngineResult:
     """Run ``protocol`` until it reports completion.
 
@@ -445,6 +475,13 @@ def run_protocol(
     :func:`get_default_engine`.  ``topology``/``peer_sampling`` restrict
     partner choice to a graph (``None`` = the complete graph, bit-identical
     to the historical uniform-gossip behaviour).
+
+    Passing ``failure_model`` and ``topology_process`` (and/or ``faults``)
+    together is well-defined: a node sits out a round if *any* of them says
+    so — the masks are OR-ed, per round, and each source draws from its own
+    random stream (failure model: the engine stream; process and injector:
+    their own seeded streams), so enabling one never perturbs another's
+    schedule.  ``mu``-style guarantees then apply to the union rate.
     """
     choice = engine if engine is not None else _default_engine
     if choice not in ENGINE_CHOICES:
@@ -465,4 +502,5 @@ def run_protocol(
         peer_sampling=peer_sampling,
         topology_process=topology_process,
         on_round=on_round,
+        faults=faults,
     )

@@ -231,6 +231,37 @@ class TopologyProcessFailures(FailureModel):
         return f"TopologyProcessFailures({self._process.name})"
 
 
+class FaultInjectorFailures(FailureModel):
+    """A :class:`~repro.faults.injectors.FaultInjector` as a failure model.
+
+    Bridges the rich fault vocabulary onto surfaces that only understand
+    Section-5 failure masks: the injector's act-suppression faults (node
+    crash-and-restart, message drop) become the round's failure mask.  The
+    injector still draws its full per-round decision — the private fault
+    stream's layout is consumer-independent, so a chaos schedule replays
+    identically whether it runs through this view or through the
+    fault-aware pull surface — but message-level kinds (duplication,
+    delay, corruption) have no effect here.
+
+    ``mu`` reports the injector's combined crash/drop bound so Section-5
+    sizing (robust pull counts) stays honest.
+    """
+
+    def __init__(self, injector) -> None:
+        self._injector = injector
+        self.mu = float(injector.mu_bound())
+
+    @property
+    def injector(self):
+        return self._injector
+
+    def failure_mask(self, round_index: int, n: int, rng: RandomSource) -> np.ndarray:
+        return self._injector.draw(round_index, n).suppressed
+
+    def __repr__(self) -> str:
+        return f"FaultInjectorFailures({self._injector!r})"
+
+
 def resolve_failure_model(model: Union[None, float, FailureModel]) -> FailureModel:
     """Accept ``None``, a float ``mu`` or a model instance and normalise."""
     if model is None:

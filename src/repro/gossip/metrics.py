@@ -43,6 +43,11 @@ class NetworkMetrics:
     failed_node_rounds: int = 0
     queries: int = 0
     query_bits: int = 0
+    #: Faults injected by an attached :class:`~repro.faults.FaultInjector`
+    #: (all kinds).  Deliberately *not* part of :meth:`summary` — injected
+    #: faults are an experiment's independent variable, not a cost; the
+    #: per-kind breakdown lives on the injector and the Prometheus export.
+    faults_injected: int = 0
     history: List[RoundRecord] = field(default_factory=list)
     keep_history: bool = True
 
@@ -160,6 +165,12 @@ class NetworkMetrics:
         if count and bits > self.max_message_bits:
             self.max_message_bits = bits
 
+    def record_faults_injected(self, count: int) -> None:
+        """Record ``count`` injected faults (drop/dup/delay/crash/corrupt)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.faults_injected += count
+
     def record_failures(self, count: int, record: Optional[RoundRecord] = None) -> None:
         if count < 0:
             raise ValueError("count must be non-negative")
@@ -189,6 +200,7 @@ class NetworkMetrics:
         self.failed_node_rounds += other.failed_node_rounds
         self.queries += other.queries
         self.query_bits += other.query_bits
+        self.faults_injected += other.faults_injected
         if other.max_message_bits > self.max_message_bits:
             self.max_message_bits = other.max_message_bits
         if self.keep_history:

@@ -22,12 +22,14 @@ single-lane partner and value streams.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.faults.injectors import FaultInjector
 from repro.gossip.failures import FailureModel, NoFailures, resolve_failure_model
 from repro.gossip.messages import BITS_PER_VALUE, tournament_message_bits
 from repro.gossip.metrics import NetworkMetrics
@@ -133,6 +135,18 @@ class GossipNetwork:
         Value dtype: float64 (default) or float32.  The paper's messages
         are O(log n) bits either way; float32 halves the simulator's
         memory traffic on the hot ``(n, k, L)`` gathers.
+    faults:
+        Optional :class:`~repro.faults.injectors.FaultInjector`.  The pull
+        surface applies the full fault vocabulary: crash/drop suppress the
+        pull (``ok = False``), duplicates are charged as extra messages,
+        delayed pulls are served from a bounded ring of past value
+        snapshots (delay is measured in value-update windows, i.e. pull
+        batches), corrupted pulls deliver a perturbed payload, and nodes
+        restarting from a ``reset_values`` crash lose their working values
+        (reset to the initial values at the next batch boundary).  The
+        injector draws from its own seeded stream, composes with any
+        failure model and topology process (masks OR-ed), and leaves every
+        fault-free stream bit-identical when absent.
     """
 
     def __init__(
@@ -147,6 +161,7 @@ class GossipNetwork:
         peer_sampling: str = "uniform",
         topology_process: Optional[TopologyProcess] = None,
         dtype=None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._dtype = resolve_value_dtype(dtype)
         array = np.asarray(values, dtype=self._dtype).copy()
@@ -185,6 +200,16 @@ class GossipNetwork:
                     "allow_self_contact has no effect under a topology "
                     "process; its samplers always exclude self-contacts"
                 )
+        if faults is not None and not isinstance(faults, FaultInjector):
+            raise ConfigurationError(
+                f"faults must be a FaultInjector, got {faults!r}"
+            )
+        self._faults = faults
+        self._delay_history: Optional[deque] = (
+            deque(maxlen=faults.max_delay)
+            if faults is not None and faults.max_delay > 0
+            else None
+        )
         self._process = resolve_topology_process(topology_process, self._n)
         self._sampler = None if self._process is not None else resolve_peer_sampler(
             topology,
@@ -240,11 +265,16 @@ class GossipNetwork:
     def can_fail(self) -> bool:
         """Whether any pull can come back with ``ok = False``.
 
-        True when a failure model is attached or the topology is a dynamic
-        process (departed nodes do not pull).  Phase drivers use this to
-        skip the per-iteration fallback snapshot on the failure-free path.
+        True when a failure model is attached, the topology is a dynamic
+        process (departed nodes do not pull), or a fault injector can
+        suppress pulls.  Phase drivers use this to skip the per-iteration
+        fallback snapshot on the failure-free path.
         """
-        return not isinstance(self._failures, NoFailures) or self._process is not None
+        return (
+            not isinstance(self._failures, NoFailures)
+            or self._process is not None
+            or self._faults is not None
+        )
 
     @property
     def rounds(self) -> int:
@@ -278,6 +308,10 @@ class GossipNetwork:
         self.metrics = NetworkMetrics(keep_history=self.metrics.keep_history)
         if self._process is not None:
             self._process.begin()
+        if self._faults is not None:
+            self._faults.begin()
+        if self._delay_history is not None:
+            self._delay_history.clear()
 
     @property
     def topology(self):
@@ -335,6 +369,8 @@ class GossipNetwork:
                 round_start=self.metrics.rounds,
             )
 
+        if self._faults is not None:
+            return self._pull_with_faults(k, label, bits, source)
         if self._process is not None:
             return self._pull_dynamic(k, label, bits, source)
         partners = self._sample_partners(k)
@@ -432,6 +468,103 @@ class GossipNetwork:
         )
         pulled = self._mask_failed(self._gather(source, partners), ok)
         return PullBatch(partners=partners, values=pulled, ok=ok)
+
+    def _pull_with_faults(
+        self, k: int, label: str, bits: int, source: np.ndarray
+    ) -> PullBatch:
+        """Pull rounds with an attached fault injector.
+
+        Partner and failure-mask draws consume the engine stream exactly
+        like the fault-free paths (static block draw or per-round dynamic
+        draws); the injector's per-round decision comes from its *private*
+        stream and is overlaid on top: crash/drop suppress pulls, failure
+        masks and the process's active mask OR in as usual, duplicates are
+        charged as extra delivered messages, delayed pulls gather from the
+        bounded snapshot ring, and corrupted pulls scale the delivered
+        payload.  Nodes restarting from a state-loss crash get their
+        working values reset to their initial values (visible from the
+        next batch's snapshot on).
+        """
+        n = self._n
+        base = self.metrics.rounds
+        ok = np.empty((n, k), dtype=bool)
+        if self._process is not None:
+            partners = np.empty((n, k), dtype=np.int64)
+            for column in range(k):
+                state = self._process.round_state(base + column)
+                partners[:, column] = state.sampler.draw_round(self._rng)
+                failed = self._failures.failure_mask(
+                    base + column, n, self._rng
+                )
+                ok[:, column] = ~(failed | ~state.active)
+        else:
+            partners = self._sample_partners(k)
+            for column in range(k):
+                failed = self._failures.failure_mask(
+                    base + column, n, self._rng
+                )
+                ok[:, column] = ~failed
+
+        delays = np.zeros((n, k), dtype=np.int64)
+        corruption = np.ones((n, k))
+        duplicated = np.zeros((n, k), dtype=bool)
+        injected = 0
+        reset_nodes = np.zeros(n, dtype=bool)
+        for column in range(k):
+            round_faults = self._faults.draw(base + column, n)
+            ok[:, column] &= ~round_faults.suppressed
+            duplicated[:, column] = round_faults.duplicated
+            delays[:, column] = round_faults.delay
+            corruption[:, column] = round_faults.corruption
+            if self._faults.reset_on_restart:
+                reset_nodes |= round_faults.restarted
+            injected += round_faults.injected
+
+        pulled = self._gather(source, partners)
+        if self._delay_history is not None and len(self._delay_history):
+            available = len(self._delay_history)
+            for d in np.unique(delays[delays > 0]):
+                # A delay deeper than the ring serves the oldest snapshot
+                # we still hold (the delay bound is honest either way).
+                snap = self._delay_history[-int(min(d, available))]
+                stale = self._gather(snap, partners)
+                mask = delays == d
+                if pulled.ndim == 3:
+                    mask = mask[:, :, None]
+                pulled = np.where(mask, stale, pulled)
+        if np.any(corruption != 1.0):
+            factor = corruption if pulled.ndim == 2 else corruption[:, :, None]
+            pulled = (pulled * factor).astype(self._dtype, copy=False)
+
+        successes = ok.sum(axis=0)
+        # Duplicates re-deliver a message that actually arrived: charge one
+        # extra message at the same bit cost, same round.
+        dup_counts = (duplicated & ok).sum(axis=0)
+        self.metrics.record_rounds_batch(
+            k,
+            label=label,
+            messages=successes + dup_counts,
+            bits_each=bits,
+            failures=n - successes,
+        )
+        self.metrics.record_faults_injected(injected)
+
+        if self._delay_history is not None:
+            # The batch's outgoing snapshot becomes "one window ago".
+            self._delay_history.append(source.copy())
+        if np.any(reset_nodes):
+            # Crash-and-restart state loss, applied at the batch boundary:
+            # the restarted node rejoins the protocol with its initial
+            # value(s), not the working state it crashed with.
+            self._values[reset_nodes] = self._initial_values[reset_nodes]
+
+        pulled = self._mask_failed(pulled, ok)
+        return PullBatch(partners=partners, values=pulled, ok=ok)
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        """The attached fault injector, or ``None``."""
+        return self._faults
 
     def pull_values(self, k: int = 1, label: str = "pull") -> np.ndarray:
         """Convenience wrapper returning only the pulled value array.

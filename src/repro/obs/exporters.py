@@ -126,6 +126,7 @@ def render_prometheus(
     metrics: Optional[Mapping[str, object]] = None,
     histograms: Optional[Mapping[str, LatencyHistogram]] = None,
     prefix: str = "repro",
+    faults: Optional[Mapping[str, object]] = None,
 ) -> str:
     """Render observability state in the Prometheus text exposition format.
 
@@ -143,6 +144,11 @@ def render_prometheus(
         Optional mapping ``{name: LatencyHistogram}``; rendered as native
         Prometheus histograms (cumulative ``_bucket`` series, ``_sum``,
         ``_count``).
+    faults:
+        Optional mapping ``{instance_label: FaultInjector}``; each
+        injector's per-kind ``counters`` (drop / duplicate / delay /
+        crash / corrupt / restart) become one
+        ``<prefix>_faults_total{instance=...,kind=...}`` family.
     """
     lines = []
     if tracer is not None:
@@ -196,6 +202,18 @@ def render_prometheus(
                 name = f"{prefix}_metrics_{key}"
                 lines.append(f"# TYPE {name} counter")
                 lines.append(f"{name}{labels} {value}")
+    if faults:
+        name = f"{prefix}_faults_total"
+        lines.append(
+            f"# HELP {name} Injected faults per injector instance and kind."
+        )
+        lines.append(f"# TYPE {name} counter")
+        for instance, injector in sorted(faults.items()):
+            for kind, count in sorted(injector.counters.items()):
+                lines.append(
+                    f'{name}{{instance="{_escape_label(instance)}",'
+                    f'kind="{_escape_label(kind)}"}} {count}'
+                )
     if histograms:
         for hist_name, hist in sorted(histograms.items()):
             name = f"{prefix}_{hist_name}_seconds"

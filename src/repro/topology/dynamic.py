@@ -313,6 +313,16 @@ class ChurnProcess(TopologyProcess):
         """The current active mask (None before :meth:`begin`)."""
         return self._active
 
+    @property
+    def rounds_generated(self) -> int:
+        """How many rounds this run has evolved through so far.
+
+        The next ``round_state`` index to use when driving the process
+        externally (e.g. :meth:`~repro.core.service.QuantileService.advance_churn`
+        stepping churn between builds).
+        """
+        return len(self.active_history)
+
     def _reset(self) -> None:
         self._active = np.ones(self.n, dtype=bool)
         self._state = None

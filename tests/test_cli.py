@@ -72,13 +72,17 @@ def test_query_approximate_on_topology(tmp_path, capsys):
     assert "on small-world" in out
 
 
-def test_query_exact_rejects_topology(tmp_path):
+def test_query_exact_with_topology(tmp_path, capsys):
+    # regression: `query --topology <t>` without --eps used to be rejected;
+    # the exact driver now threads the topology into its approximate stages.
     values = np.arange(1.0, 257.0)
     path = tmp_path / "values.txt"
     np.savetxt(path, values)
-    with pytest.raises(SystemExit):
-        main(["query", "--input", str(path), "--phi", "0.5",
-              "--topology", "ring"])
+    main(["query", "--input", str(path), "--phi", "0.5",
+          "--topology", "regular", "--degree", "8", "--seed", "3"])
+    out = capsys.readouterr().out
+    assert "exact 0.5-quantile = 128.0" in out
+    assert "on regular" in out
 
 
 def test_unknown_command_errors():

@@ -142,6 +142,10 @@ def test_summary_keys(service):
         "sketch_items": 0,
         "answers_grid": 1,
         "answers_sketch": 0,
+        "epoch": 0,
+        "rebuilds": 0,
+        "answers_degraded": 0,
+        "stale_lanes": 0,
     }
 
 

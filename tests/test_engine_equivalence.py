@@ -379,3 +379,56 @@ def test_fused_and_sequential_grids_agree_within_tolerance(n):
     # rounds: max-of-lanes <= sum-over-grid, strictly so for a 9-wide grid
     assert fused.rounds <= sequential.rounds
     assert fused.rounds < sequential.rounds
+
+
+@pytest.mark.parametrize("factory", [make_push_sum, make_extrema_max],
+                         ids=lambda f: f.__name__)
+def test_engines_bit_identical_under_composed_robustness_inputs(factory):
+    """failures | topology_process | faults compose by OR on both engines.
+
+    Each of the three robustness inputs draws from its own stream (engine
+    stream, process stream, injector stream), so composing all three keeps
+    loop and vectorized execution bit-identical — the strongest form of
+    the composition contract documented on run_protocol.
+    """
+    from repro.faults import CrashRestart, FaultInjector, MessageDrop
+    from repro.topology import ChurnProcess
+
+    n, seed = 96, 13
+
+    def robustness_kwargs():
+        return {
+            "failure_model": 0.05,
+            "topology_process": ChurnProcess(n, churn_rate=0.05, rng=seed + 1),
+            "faults": FaultInjector(
+                [MessageDrop(0.1), CrashRestart(0.05, downtime=2)],
+                rng=seed + 2,
+            ),
+        }
+
+    loop = run_protocol_loop(
+        factory(n, seed), rng=seed, raise_on_budget=False,
+        **robustness_kwargs(),
+    )
+    vec = run_protocol_vectorized(
+        factory(n, seed), rng=seed, raise_on_budget=False,
+        **robustness_kwargs(),
+    )
+    _assert_identical(loop, vec)
+
+
+def test_faults_do_not_shift_engine_stream():
+    """Attaching an injector must not perturb the engine's own draws: a
+    run whose injector never fires is bit-identical to a fault-free run."""
+    from repro.faults import FaultInjector, MessageDrop
+
+    n, seed = 64, 3
+    clean = run_protocol_vectorized(
+        make_push_sum(n, seed), rng=seed, raise_on_budget=False,
+    )
+    quiet = run_protocol_vectorized(
+        make_push_sum(n, seed), rng=seed, raise_on_budget=False,
+        faults=FaultInjector(MessageDrop(0.0), rng=99),
+    )
+    assert clean.outputs == quiet.outputs
+    assert clean.metrics.summary() == quiet.metrics.summary()

@@ -21,7 +21,7 @@ from repro.experiments.runner import REGISTRY, run_experiment
 
 
 def test_registry_contains_all_experiments():
-    assert len(REGISTRY) == 13
+    assert len(REGISTRY) == 14
     for spec in REGISTRY.values():
         assert spec.columns
         assert spec.claim
