@@ -38,6 +38,7 @@ from repro.gossip.protocol import (
 )
 from repro.topology.graphs import Topology
 from repro.utils.rand import RandomSource
+from repro.utils.views import ReadOnlyArray
 
 
 class BroadcastProtocol(BatchGossipProtocol, GossipProtocol):
@@ -86,11 +87,11 @@ class BroadcastProtocol(BatchGossipProtocol, GossipProtocol):
             self._informed[node] = True
 
     # -- batch (vectorized-engine) interface --------------------------------------
-    def act_batch(self, round_index: int, alive: np.ndarray) -> BatchAction:
+    def act_batch(self, round_index: int, alive: ReadOnlyArray) -> BatchAction:
         kinds = np.where(self._snapshot, KIND_PUSHPULL, KIND_PULL).astype(np.int8)
         return BatchAction("mixed", kinds=kinds)
 
-    def receive_batch(self, round_index, alive, partners, action):
+    def receive_batch(self, round_index, alive: ReadOnlyArray, partners, action):
         kinds = action.kinds
         # Pushes: alive nodes whose declared kind includes a push ship the
         # rumor to their partner.

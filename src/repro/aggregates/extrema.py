@@ -22,6 +22,7 @@ from repro.gossip.messages import BITS_HEADER, payload_bits
 from repro.gossip.metrics import NetworkMetrics
 from repro.gossip.protocol import Action, BatchAction, BatchGossipProtocol, GossipProtocol
 from repro.utils.rand import RandomSource
+from repro.utils.views import ReadOnlyArray
 
 
 class ExtremaProtocol(BatchGossipProtocol, GossipProtocol):
@@ -82,7 +83,7 @@ class ExtremaProtocol(BatchGossipProtocol, GossipProtocol):
         self._best[node] = self._better(float(self._best[node]), float(payload))
 
     # -- batch (vectorized-engine) interface --------------------------------------
-    def act_batch(self, round_index: int, alive: np.ndarray) -> BatchAction:
+    def act_batch(self, round_index: int, alive: ReadOnlyArray) -> BatchAction:
         bits = payload_bits(0.0, n=self.n)
         # all-alive rounds ship the snapshot itself (read-only) instead of
         # a boolean-masked copy
@@ -94,7 +95,7 @@ class ExtremaProtocol(BatchGossipProtocol, GossipProtocol):
             pull_bits=bits,
         )
 
-    def receive_batch(self, round_index, alive, partners, action) -> None:
+    def receive_batch(self, round_index, alive: ReadOnlyArray, partners, action) -> None:
         merge = np.maximum if self._mode == "max" else np.minimum
         if action.payload.size == self.n:
             # pushes: scatter each node's snapshot value onto its partner,
@@ -199,7 +200,7 @@ class ExtremaPairProtocol(BatchGossipProtocol, GossipProtocol):
         self._hi[node] = max(float(self._hi[node]), float(hi))
 
     # -- batch (vectorized-engine) interface --------------------------------------
-    def act_batch(self, round_index: int, alive: np.ndarray) -> BatchAction:
+    def act_batch(self, round_index: int, alive: ReadOnlyArray) -> BatchAction:
         bits = self.message_bits(None)
         if alive.all():
             payload = (self._lo_snapshot, self._hi_snapshot)
@@ -209,7 +210,7 @@ class ExtremaPairProtocol(BatchGossipProtocol, GossipProtocol):
             "pushpull", payload=payload, push_bits=bits, pull_bits=bits
         )
 
-    def receive_batch(self, round_index, alive, partners, action) -> None:
+    def receive_batch(self, round_index, alive: ReadOnlyArray, partners, action) -> None:
         lo_payload, hi_payload = action.payload
         if lo_payload.size == self.n:
             if self._scratch is None:

@@ -28,6 +28,7 @@ from repro.gossip.messages import BITS_HEADER, BITS_PER_VALUE, BITS_PER_WEIGHT, 
 from repro.gossip.metrics import NetworkMetrics
 from repro.gossip.protocol import Action, BatchAction, BatchGossipProtocol, GossipProtocol
 from repro.utils.rand import RandomSource
+from repro.utils.views import ReadOnlyArray
 
 
 def default_push_sum_rounds(n: int, relative_error: float = 1e-4) -> int:
@@ -115,7 +116,7 @@ class PushSumProtocol(BatchGossipProtocol, GossipProtocol):
         self._w[node] += w_half
 
     # -- batch (vectorized-engine) interface --------------------------------------
-    def act_batch(self, round_index: int, alive: np.ndarray) -> BatchAction:
+    def act_batch(self, round_index: int, alive: ReadOnlyArray) -> BatchAction:
         if alive.all():
             # Failure-free fast path: in-place whole-array halving instead
             # of the boolean gathers/scatters (same values — the payload is
@@ -140,7 +141,7 @@ class PushSumProtocol(BatchGossipProtocol, GossipProtocol):
             "push", payload=(s_half, w_half), push_bits=self.message_bits(None)
         )
 
-    def receive_batch(self, round_index, alive, partners, action) -> None:
+    def receive_batch(self, round_index, alive: ReadOnlyArray, partners, action) -> None:
         s_half, w_half = action.payload
         # an all-alive payload pairs with the full partner array; slicing
         # would only copy it

@@ -286,6 +286,7 @@ def estimate_grid_subset(
         window_start = metrics.rounds
         with tracer.span("grid_chunk", metrics) as span:
             span.annotate(start=start, lanes=lanes)
+            # repro-lint: disable=thread-kwargs -- dtype/metrics/topology are threaded through the pre-built multi-lane network above; alongside network= a topology is rejected and dtype/metrics are carried by the network.
             result = approximate_quantile(
                 network=network,
                 phi=[float(phi) for phi in chunk],
@@ -324,6 +325,7 @@ def _run_sequential(
             faults=faults,
         )
         window_start = metrics.rounds
+        # repro-lint: disable=thread-kwargs -- dtype/metrics/topology are threaded through the pre-built single-lane network above (the historical child-stream layout, pinned by sha256); alongside network= a topology is rejected.
         result = approximate_quantile(
             network=network,
             phi=float(phi),

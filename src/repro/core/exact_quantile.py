@@ -376,6 +376,7 @@ def _exact_quantile_impl(
             span.annotate(iteration=iteration)
             if simulate:
                 if lo_bounded and hi_bounded:
+                    # repro-lint: disable=thread-kwargs -- documented deviation: the auxiliary extrema spreading runs on the complete graph (see the topology note in exact_quantile's docstring; restricting it is a roadmap item).
                     pair = spread_extrema_pair(
                         est_lo, est_hi, rng=source.child(),
                         failure_model=failures, metrics=metrics,
@@ -383,12 +384,14 @@ def _exact_quantile_impl(
                     min_key = float(np.min(pair.lo_values))
                     max_key = float(np.max(pair.hi_values))
                 elif lo_bounded:
+                    # repro-lint: disable=thread-kwargs -- documented deviation: auxiliary extrema spreading stays on the complete graph (see exact_quantile docstring).
                     lo_spread = spread_extrema(
                         est_lo, mode="min", rng=source.child(),
                         failure_model=failures, metrics=metrics,
                     )
                     min_key = float(np.min(lo_spread.values))
                 elif hi_bounded:
+                    # repro-lint: disable=thread-kwargs -- documented deviation: auxiliary extrema spreading stays on the complete graph (see exact_quantile docstring).
                     hi_spread = spread_extrema(
                         est_hi, mode="max", rng=source.child(),
                         failure_model=failures, metrics=metrics,
@@ -440,6 +443,7 @@ def _exact_quantile_impl(
         with tracer.span("counting", metrics) as span:
             span.annotate(iteration=iteration)
             if simulate:
+                # repro-lint: disable=thread-kwargs -- documented deviation: the push-sum counting substrate runs on the complete graph (see the topology note in exact_quantile's docstring).
                 count_leq(node_keys, threshold=min_key, rng=source.child(),
                           failure_model=failures, metrics=metrics)
             else:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -60,13 +60,13 @@ class ApproxQuantileResult:
 
     def __init__(
         self,
-        phi,
-        eps,
+        phi: float,
+        eps: float,
         n: int,
         estimates: np.ndarray,
         rounds: int,
         metrics: NetworkMetrics,
-        estimate=None,
+        estimate: Union[None, float, np.ndarray] = None,
         phase1: Optional[TournamentPhaseResult] = None,
         phase2: Optional[TournamentPhaseResult] = None,
     ) -> None:
@@ -81,13 +81,13 @@ class ApproxQuantileResult:
         self.phase2 = phase2
 
     @property
-    def estimate(self):
+    def estimate(self) -> Union[float, np.ndarray]:
         if self._estimate is None:
             self._estimate = self._median_of_lanes(self.estimates)
         return self._estimate
 
     @staticmethod
-    def _median_of_lanes(estimates: np.ndarray):
+    def _median_of_lanes(estimates: np.ndarray) -> Union[float, np.ndarray]:
         if estimates.ndim == 1:
             finite = estimates[np.isfinite(estimates)]
             return float(np.median(finite)) if finite.size else float("nan")
@@ -98,7 +98,7 @@ class ApproxQuantileResult:
             ]
         )
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, Union[float, np.ndarray]]:
         return {
             "phi": self.phi,
             "eps": self.eps,

@@ -188,7 +188,7 @@ def robust_approximate_quantile(
             picked = np.stack(
                 [batch.values[idx, chosen[idx, j]] for j in range(3)], axis=1
             )
-            new_values[idx] = np.sort(picked, axis=1)[:, 1]
+            new_values[idx] = np.sort(picked, axis=1, kind="stable")[:, 1]
         good = new_good
         network.set_values(new_values)
 
@@ -204,7 +204,7 @@ def robust_approximate_quantile(
         picked = np.stack(
             [batch.values[idx, chosen[idx, j]] for j in range(final_samples)], axis=1
         )
-        estimates[idx] = np.sort(picked, axis=1)[:, final_samples // 2]
+        estimates[idx] = np.sort(picked, axis=1, kind="stable")[:, final_samples // 2]
 
     # ---- Extra spreading rounds (the "+t" of Theorem 1.4) ----------------------
     for _ in range(int(extra_spread_rounds)):

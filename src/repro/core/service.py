@@ -221,6 +221,7 @@ class QuantileService:
         build_metrics = NetworkMetrics(keep_history=keep_history)
         with get_tracer().span("service_build", build_metrics) as span:
             span.annotate(n=int(self._array.size), eps=float(eps))
+            # repro-lint: disable=thread-kwargs -- keep_history is threaded via build_metrics (constructed with it above); estimate_all_ranks documents that an explicit metrics= object's keep_history wins.
             self._result = estimate_all_ranks(
                 self._array,
                 eps=eps,
@@ -405,7 +406,7 @@ class QuantileService:
                 self._sketch.merge(delta)
             self.epoch += 1
         self._epoch_active = active.copy()
-        self._epoch_sorted = np.sort(self._array[active])
+        self._epoch_sorted = np.sort(self._array[active], kind="stable")
         self._pending_updates = []
         self._suspect_lanes.clear()
         self._drift_cache = None
@@ -463,7 +464,7 @@ class QuantileService:
             return self._drift_cache
         answers = self._grid_answers
         active = self._active_mask()
-        now = np.sort(self._array[active])
+        now = np.sort(self._array[active], kind="stable")
         below_now = np.searchsorted(now, answers, side="left") / max(now.size, 1)
         below_epoch = np.searchsorted(
             self._epoch_sorted, answers, side="left"
@@ -530,7 +531,7 @@ class QuantileService:
         active = self._active_mask()
         array = self._array[active]
         targets = grid[lanes]
-        sorted_now = np.sort(array)
+        sorted_now = np.sort(array, kind="stable")
         rounds_before = metrics.rounds
         chunks_run = 0
         backoff_rounds = 0

@@ -36,6 +36,7 @@ from repro.exceptions import ConfigurationError
 from repro.obs.tracer import Tracer
 from repro.utils.rand import RandomSource
 from repro.utils.stats import empirical_quantile
+from repro.utils.views import ReadOnlyArray
 
 COLUMNS = [
     "n",
@@ -65,7 +66,7 @@ def _run_one_trial(
     truth: float,
     trial_index: int,
     rng: RandomSource,
-    values: Optional[np.ndarray] = None,
+    values: Optional[ReadOnlyArray] = None,
 ) -> Dict[str, float]:
     """One simulated exact query; module-level so process pools can pickle it.
 

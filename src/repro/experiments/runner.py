@@ -22,6 +22,7 @@ from repro.analysis.tables import format_table, rows_to_csv
 from repro.exceptions import ConfigurationError
 from repro.gossip.engine import get_default_engine, set_default_engine
 from repro.utils.rand import RandomSource, SeedLike, spawn_rngs
+from repro.utils.views import readonly, readonly_view
 from repro.experiments import (
     ablations,
     approx_rounds,
@@ -219,8 +220,7 @@ def _worker_initializer(engine: str, specs: Tuple[_SharedSpec, ...] = ()) -> Non
             except Exception:  # pragma: no cover - CPython implementation detail
                 pass
         _WORKER_SHARED_SEGMENTS.append(segment)
-        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
-        view.flags.writeable = False
+        view = readonly(np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf))
         _WORKER_SHARED_VIEWS[name] = view
 
 
@@ -272,10 +272,7 @@ def run_trials(
         raise ConfigurationError("trials must be non-negative")
     shared_arrays: Dict[str, np.ndarray] = {}
     for name, array in (shared or {}).items():
-        arr = np.ascontiguousarray(array)
-        arr = arr.view()
-        arr.flags.writeable = False
-        shared_arrays[name] = arr
+        shared_arrays[name] = readonly_view(np.ascontiguousarray(array))
     rngs = spawn_rngs(seed, trials)
     if workers is None or workers <= 1 or trials <= 1:
         return [task(index, rng, **shared_arrays) for index, rng in enumerate(rngs)]

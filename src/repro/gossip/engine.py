@@ -33,6 +33,7 @@ from repro.gossip.protocol import Action, BatchAction, BatchGossipProtocol, Goss
 from repro.obs.tracer import get_tracer
 from repro.topology.dynamic import TopologyProcess, resolve_topology_process
 from repro.topology.graphs import Topology
+from repro.utils.views import readonly
 from repro.topology.sampler import (
     PeerSampler,
     draw_uniform_round_partners,
@@ -125,8 +126,7 @@ def _cached_mask(n: int, value: bool) -> np.ndarray:
     key = (n, value)
     mask = _MASK_CACHE.get(key)
     if mask is None:
-        mask = np.full(n, value, dtype=bool)
-        mask.setflags(write=False)
+        mask = readonly(np.full(n, value, dtype=bool))
         if len(_MASK_CACHE) > 128:
             _MASK_CACHE.clear()
         _MASK_CACHE[key] = mask

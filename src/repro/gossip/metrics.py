@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, SupportsInt, Tuple, Union, cast
 
 import numpy as np
+
+#: Per-round counts accepted by :meth:`NetworkMetrics.record_rounds_batch`:
+#: nothing (zero), one scalar for every round, or a length-``count`` sequence.
+CountsLike = Union[None, int, Sequence[int], np.ndarray]
 
 
 @dataclass
@@ -50,6 +54,9 @@ class NetworkMetrics:
     faults_injected: int = 0
     history: List[RoundRecord] = field(default_factory=list)
     keep_history: bool = True
+    _current: Optional[RoundRecord] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def begin_round(self, label: str = "") -> RoundRecord:
         """Start a new round and return its (mutable) record."""
@@ -81,9 +88,9 @@ class NetworkMetrics:
         self,
         count: int,
         label: str = "",
-        messages=None,
+        messages: CountsLike = None,
         bits_each: int = 0,
-        failures=None,
+        failures: CountsLike = None,
     ) -> None:
         """Record ``count`` whole rounds in one call.
 
@@ -131,15 +138,15 @@ class NetworkMetrics:
         self._current = record
 
     @staticmethod
-    def _per_round(counts, rounds: int, what: str) -> List[int]:
+    def _per_round(counts: CountsLike, rounds: int, what: str) -> List[int]:
         if counts is None:
             return [0] * rounds
         if np.isscalar(counts):
-            value = int(counts)
+            value = int(cast(SupportsInt, counts))
             if value < 0:
                 raise ValueError(f"{what} must be non-negative")
             return [value] * rounds
-        values = [int(c) for c in counts]
+        values = [int(c) for c in cast(Iterable[int], counts)]
         if len(values) != rounds:
             raise ValueError(f"need one {what} entry per round, got {len(values)}")
         if any(v < 0 for v in values):

@@ -14,6 +14,8 @@ from typing import Any, List, Optional
 
 import numpy as np
 
+from repro.utils.views import ReadOnlyArray
+
 
 @dataclass(frozen=True)
 class Action:
@@ -199,19 +201,22 @@ class BatchGossipProtocol:
     #: Flipping this to False opts a subclass out of vectorized dispatch.
     supports_batch: bool = True
 
-    def act_batch(self, round_index: int, alive: np.ndarray) -> BatchAction:
+    def act_batch(self, round_index: int, alive: ReadOnlyArray) -> BatchAction:
         """Vectorized :meth:`GossipProtocol.act` over all alive nodes.
 
         ``alive`` is a length-``n`` boolean mask (True = the node acts this
         round).  Must perform exactly the state mutation the per-node
-        ``act`` calls would, restricted to the alive nodes.
+        ``act`` calls would, restricted to the alive nodes.  On the
+        failure-free fast path the mask is a *cached view shared across
+        rounds and runs* (:data:`repro.utils.views.ReadOnlyArray`):
+        implementations must never write to it.
         """
         raise NotImplementedError
 
     def receive_batch(
         self,
         round_index: int,
-        alive: np.ndarray,
+        alive: ReadOnlyArray,
         partners: np.ndarray,
         action: BatchAction,
     ):

@@ -1,0 +1,10 @@
+"""Entry point for ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The :class:`Finding` record emitted by every lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``suppressed`` findings were matched by a justified
+    ``# repro-lint: disable=<rule> -- <why>`` comment; they are kept (and
+    reported under ``--show-suppressed``) so that suppression debt stays
+    visible, but they do not affect the exit code.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    justification: Optional[str] = None
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.justification is not None:
+            out["justification"] = self.justification
+        return out
+
+    def with_suppression(self, justification: str) -> "Finding":
+        return Finding(
+            rule=self.rule,
+            path=self.path,
+            line=self.line,
+            col=self.col,
+            message=self.message,
+            suppressed=True,
+            justification=justification,
+        )
+
+
+__all__ = ["Finding"]

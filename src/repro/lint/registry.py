@@ -1,0 +1,81 @@
+"""Rule base class and the global rule registry."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Type, Union
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``/``description`` and implement :meth:`check`.
+    :meth:`applies_to` lets a rule scope itself to parts of the tree (the
+    ``stable-sort`` rule only patrols ``repro.core``/``repro.gossip``, for
+    example); out-of-scope modules are skipped entirely.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: ModuleContext, node: Union[ast.AST, int], message: str
+    ) -> Finding:
+        """Build a finding anchored at an AST node (or a bare line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id, path=ctx.path, line=line, col=col, message=message
+        )
+
+
+#: All registered rules, by id.  Populated by importing
+#: :mod:`repro.lint.rules`, whose submodules self-register at import time.
+RULES: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in RULES and type(RULES[rule.id]) is not rule_cls:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules in stable (id-sorted) order."""
+    _ensure_loaded()
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    return RULES[rule_id]
+
+
+def known_rule_ids() -> List[str]:
+    _ensure_loaded()
+    return sorted(RULES)
+
+
+def _ensure_loaded() -> None:
+    # Imported lazily to avoid a registry <-> rules import cycle.
+    import repro.lint.rules  # noqa: F401  (import registers the rules)
+
+
+__all__ = ["RULES", "Rule", "all_rules", "get_rule", "known_rule_ids", "register"]

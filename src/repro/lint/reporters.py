@@ -1,0 +1,70 @@
+"""Text and JSON reporters for lint results.
+
+The JSON document is versioned and stable so lint debt can be diffed
+across commits the same way ``bench_trend.py`` diffs the checked-in
+benchmark trajectories.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.runner import LintResult
+
+#: Schema version of the JSON report.  Bump on breaking layout changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """One ``path:line:col: rule: message`` line per finding, plus a summary."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule}: {finding.message}"
+        )
+    if show_suppressed:
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: "
+                f"{finding.rule}: [suppressed: {finding.justification}] "
+                f"{finding.message}"
+            )
+    total = len(result.findings)
+    if total:
+        by_rule = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(result.by_rule().items())
+        )
+        lines.append(f"found {total} finding(s) in {result.files_checked} file(s): {by_rule}")
+    else:
+        lines.append(
+            f"clean: {result.files_checked} file(s), "
+            f"{len(result.rules_run)} rule(s), "
+            f"{len(result.suppressed)} suppressed finding(s)"
+        )
+    return "\n".join(lines)
+
+
+def report_dict(result: LintResult) -> Dict[str, Any]:
+    """The machine-readable report as a plain dictionary."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro.lint",
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "summary": {
+            "total": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "by_rule": result.by_rule(),
+        },
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(report_dict(result), indent=2, sort_keys=True)
+
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text", "report_dict"]

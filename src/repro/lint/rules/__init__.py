@@ -1,0 +1,28 @@
+"""Rule modules; importing this package registers every rule.
+
+Each submodule defines one rule class decorated with
+:func:`repro.lint.registry.register`, so ``import repro.lint.rules`` is
+all the runner needs to populate the registry.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (imports register the rules)
+    bare_suppression,
+    private_stream,
+    rng_discipline,
+    shared_view_write,
+    stable_sort,
+    thread_kwargs,
+    wallclock,
+)
+
+__all__ = [
+    "bare_suppression",
+    "private_stream",
+    "rng_discipline",
+    "shared_view_write",
+    "stable_sort",
+    "thread_kwargs",
+    "wallclock",
+]

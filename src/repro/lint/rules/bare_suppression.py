@@ -1,0 +1,53 @@
+"""``bare-suppression``: every suppression must carry a justification.
+
+A ``# repro-lint: disable=<rule>`` with no ``-- <why>`` text hides a
+finding without recording the reasoning, which is exactly how convention
+debt becomes invisible.  Bare suppressions are therefore (a) not
+honoured by the runner and (b) flagged by this meta-rule, which also
+catches suppressions naming unknown rules (typos that would otherwise
+silently suppress nothing).  Findings of this rule cannot themselves be
+suppressed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import RULES, Rule, register
+
+
+@register
+class BareSuppressionRule(Rule):
+    id = "bare-suppression"
+    description = (
+        "# repro-lint: disable=... comments must carry a non-empty "
+        "'-- justification' and name known rules"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for suppression in ctx.suppressions:
+            if not suppression.justified:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        suppression.line,
+                        "suppression without justification: write "
+                        "'# repro-lint: disable=<rule> -- <why this is safe>'",
+                    )
+                )
+            for rule_id in suppression.rules:
+                if rule_id not in RULES:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            suppression.line,
+                            f"suppression names unknown rule '{rule_id}'",
+                        )
+                    )
+        return iter(findings)
+
+
+__all__ = ["BareSuppressionRule"]

@@ -1,0 +1,178 @@
+"""``rng-discipline``: all randomness must be seeded, replayable numpy streams.
+
+Flags, inside the ``repro`` package:
+
+* any import of the stdlib :mod:`random` module — its global state cannot
+  be replayed per-subsystem and silently couples callers;
+* legacy ``np.random.<dist>`` module-level draws and ``np.random.seed`` —
+  they mutate the hidden global ``RandomState`` and break the "one
+  private stream per subsystem" replay model;
+* ``default_rng()`` with no (or an explicit ``None``) seed — an unseeded
+  generator can never reproduce a run.
+
+Seeded construction (``default_rng(seed)``), ``SeedSequence`` and the
+generator/bit-generator *types* remain allowed; :class:`repro.utils.rand.
+RandomSource` is the blessed entry point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.callgraph import dotted_name
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: numpy.random attributes that are fine to reference and call: seeded
+#: construction surfaces and generator types, not global-state draws.
+ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "SeedSequence",
+        "Generator",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    if not call.args and not call.keywords:
+        return True
+    if (
+        len(call.args) == 1
+        and not call.keywords
+        and isinstance(call.args[0], ast.Constant)
+        and call.args[0].value is None
+    ):
+        return True
+    return False
+
+
+@register
+class RngDisciplineRule(Rule):
+    id = "rng-discipline"
+    description = (
+        "no stdlib random, no legacy np.random.<dist>/np.random.seed, "
+        "no unseeded default_rng() inside the repro package"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        np_random_prefixes = {
+            f"{alias}.random" for alias in ctx.numpy_aliases
+        } | ctx.numpy_random_aliases
+        unseeded_names = {
+            local
+            for local, target in ctx.imports.items()
+            if target == "numpy.random.default_rng"
+        }
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                "stdlib 'random' is banned: its global state "
+                                "cannot be replayed; use repro.utils.rand."
+                                "RandomSource",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and not node.level:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "stdlib 'random' is banned: its global state "
+                            "cannot be replayed; use repro.utils.rand."
+                            "RandomSource",
+                        )
+                    )
+                elif node.module == "numpy.random" and not node.level:
+                    for alias in node.names:
+                        if alias.name != "*" and alias.name not in ALLOWED_NP_RANDOM:
+                            findings.append(
+                                self.finding(
+                                    ctx,
+                                    node,
+                                    f"legacy numpy.random.{alias.name} draws "
+                                    "from the hidden global RandomState; use "
+                                    "a seeded Generator via RandomSource",
+                                )
+                            )
+            elif isinstance(node, ast.Call):
+                findings.extend(
+                    self._check_call(ctx, node, np_random_prefixes, unseeded_names)
+                )
+        return iter(findings)
+
+    def _check_call(
+        self,
+        ctx: ModuleContext,
+        call: ast.Call,
+        np_random_prefixes: set,
+        unseeded_names: set,
+    ) -> Iterator[Finding]:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            if isinstance(call.func, ast.Name) and call.func.id in unseeded_names:
+                dotted = "numpy.random.default_rng"
+            else:
+                return iter(())
+        if isinstance(call.func, ast.Name) and call.func.id in unseeded_names:
+            if _is_unseeded(call):
+                return iter(
+                    [
+                        self.finding(
+                            ctx,
+                            call,
+                            "default_rng() without an explicit seed or "
+                            "SeedSequence cannot reproduce a run",
+                        )
+                    ]
+                )
+            return iter(())
+        head, _, attr = dotted.rpartition(".")
+        if head not in np_random_prefixes:
+            return iter(())
+        if attr == "default_rng":
+            if _is_unseeded(call):
+                return iter(
+                    [
+                        self.finding(
+                            ctx,
+                            call,
+                            "default_rng() without an explicit seed or "
+                            "SeedSequence cannot reproduce a run",
+                        )
+                    ]
+                )
+            return iter(())
+        if attr in ALLOWED_NP_RANDOM:
+            return iter(())
+        return iter(
+            [
+                self.finding(
+                    ctx,
+                    call,
+                    f"legacy np.random.{attr}() draws from the hidden global "
+                    "RandomState; use a seeded Generator via "
+                    "repro.utils.rand.RandomSource",
+                )
+            ]
+        )
+
+
+__all__ = ["ALLOWED_NP_RANDOM", "RngDisciplineRule"]

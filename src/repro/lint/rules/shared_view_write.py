@@ -1,0 +1,184 @@
+"""``shared-view-write``: no in-place mutation of read-only shared views.
+
+:func:`repro.experiments.runner.run_trials` publishes value arrays to
+worker processes as read-only shared-memory views, and the engines hand
+out cached read-only masks and identity arrays.  Writing to such a view
+either raises at runtime (``writeable=False``) or — worse, through a
+copy that silently re-enables writes — corrupts data shared across
+trials.  The convention is machine-checkable: parameters annotated
+:data:`repro.utils.views.ReadOnlyArray` are contractually read-only, and
+this rule flags every in-place mutation of them: augmented assignment,
+slice/element assignment, ``out=`` targets, ``np.<ufunc>.at`` and
+mutating ndarray methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: The annotation (by terminal name) that marks a read-only view parameter.
+ANNOTATION_NAME = "ReadOnlyArray"
+
+#: ndarray methods that mutate the receiver in place.
+_MUTATING_METHODS = frozenset(
+    {"sort", "fill", "put", "resize", "partition", "setflags", "itemset", "byteswap"}
+)
+
+
+def _annotation_matches(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == ANNOTATION_NAME
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr == ANNOTATION_NAME
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return ANNOTATION_NAME in annotation.value
+    if isinstance(annotation, ast.Subscript):
+        # Optional[ReadOnlyArray] and friends.
+        return any(
+            _annotation_matches(child)
+            for child in ast.walk(annotation)
+            if isinstance(child, (ast.Name, ast.Attribute))
+            and child is not annotation
+        )
+    return False
+
+
+def _readonly_params(func: ast.AST) -> Set[str]:
+    args = func.args  # type: ignore[attr-defined]
+    params: Set[str] = set()
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        if _annotation_matches(arg.annotation):
+            params.add(arg.arg)
+    return params
+
+
+def _subscript_base(node: ast.expr) -> Optional[str]:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+@register
+class SharedViewWriteRule(Rule):
+    id = "shared-view-write"
+    description = (
+        "no in-place writes (augmented/slice assignment, out=, np.<ufunc>.at, "
+        "mutating methods) on ReadOnlyArray-annotated parameters"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                params = _readonly_params(node)
+                if params:
+                    findings.extend(self._check_function(ctx, node, params))
+        return iter(findings)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: ast.AST, params: Set[str]
+    ) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        name = getattr(func, "name", "<function>")
+        for node in _walk_shallow(func):
+            if isinstance(node, ast.AugAssign):
+                base = (
+                    node.target.id
+                    if isinstance(node.target, ast.Name)
+                    else _subscript_base(node.target)
+                )
+                if base in params:
+                    findings.append(
+                        self._mutation(ctx, node, name, base, "augmented assignment")
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    base = _subscript_base(target)
+                    if isinstance(target, ast.Subscript) and base in params:
+                        findings.append(
+                            self._mutation(
+                                ctx, node, name, base, "slice/element assignment"
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(ctx, node, name, params))
+        return iter(findings)
+
+    def _check_call(
+        self, ctx: ModuleContext, call: ast.Call, func_name: str, params: Set[str]
+    ) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for keyword in call.keywords:
+            if (
+                keyword.arg == "out"
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id in params
+            ):
+                findings.append(
+                    self._mutation(
+                        ctx, call, func_name, keyword.value.id, "out= target"
+                    )
+                )
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            # param.sort(...) and friends
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in params
+                and func.attr in _MUTATING_METHODS
+            ):
+                findings.append(
+                    self._mutation(
+                        ctx,
+                        call,
+                        func_name,
+                        func.value.id,
+                        f"mutating method .{func.attr}()",
+                    )
+                )
+            # np.<ufunc>.at(param, ...)
+            elif (
+                func.attr == "at"
+                and call.args
+                and isinstance(call.args[0], ast.Name)
+                and call.args[0].id in params
+            ):
+                findings.append(
+                    self._mutation(
+                        ctx, call, func_name, call.args[0].id, "ufunc .at() scatter"
+                    )
+                )
+        return iter(findings)
+
+    def _mutation(
+        self, ctx: ModuleContext, node: ast.AST, func: str, param: str, what: str
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"'{func}' mutates read-only view parameter '{param}' via {what}; "
+            "ReadOnlyArray parameters are shared across trials/processes — "
+            "copy before mutating (arr = arr.copy())",
+        )
+
+
+__all__ = ["ANNOTATION_NAME", "SharedViewWriteRule"]

@@ -1,0 +1,74 @@
+"""``stable-sort``: sorts on the replay-critical paths must be stable.
+
+``np.argsort``/``np.sort`` default to an unstable introsort whose
+permutation of *equal* keys is an implementation detail — on the token
+bookkeeping and quantile paths that permutation feeds owner assignment
+and tie resolution, so an unstable kind can silently reorder tied values
+between numpy versions and break the sha256 stream pins.  Inside
+``repro.core`` and ``repro.gossip`` every ``np.sort``/``np.argsort``
+call must pass ``kind="stable"`` explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.callgraph import dotted_name
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+_SORT_NAMES = ("sort", "argsort")
+
+
+@register
+class StableSortRule(Rule):
+    id = "stable-sort"
+    description = (
+        'np.sort/np.argsort in repro.core and repro.gossip must pass kind="stable"'
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro.core", "repro.gossip")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        prefixes = set(ctx.numpy_aliases) | {"numpy"}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            head, _, attr = dotted.rpartition(".")
+            if attr not in _SORT_NAMES or head not in prefixes:
+                continue
+            kind = next(
+                (kw for kw in node.keywords if kw.arg == "kind"), None
+            )
+            if kind is None:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"np.{attr} without kind=\"stable\": the default "
+                        "introsort permutes equal keys unstably, which can "
+                        "silently break stream pins on tie-heavy inputs",
+                    )
+                )
+            elif not (
+                isinstance(kind.value, ast.Constant) and kind.value.value == "stable"
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"np.{attr} must use kind=\"stable\" on the "
+                        "replay-critical paths (repro.core/repro.gossip)",
+                    )
+                )
+        return iter(findings)
+
+
+__all__ = ["StableSortRule"]

@@ -1,0 +1,127 @@
+"""``thread-kwargs``: contract kwargs must be forwarded down the call chain.
+
+The PR-6 bug class: a driver accepts ``keep_history=`` (or ``engine=``,
+``dtype=``, ``metrics=``, ``topology=``, ``rng=``) and calls a helper
+that accepts the same kwarg — but forgets to pass it, so the caller's
+setting is silently dropped and the callee falls back to its default.
+With a defaulted kwarg nothing crashes; the run is just subtly wrong
+(history missing, wrong engine, un-threaded metrics).
+
+The rule builds a lightweight intra-package call graph (module-level
+functions, same-class ``self.`` methods, and class constructors) and
+flags every call site where a tracked kwarg is accepted by both caller
+and callee but neither passed by keyword, covered positionally, nor
+splatted through ``**kwargs``.
+
+Deliberate non-forwarding (a helper that *must* get a fresh metrics
+object, say) is expressed by passing the kwarg explicitly
+(``metrics=None``) or by a justified suppression comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.callgraph import FunctionInfo, resolve_call_target
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: The contract kwargs whose silent dropping this rule prevents.
+TRACKED_KWARGS = ("engine", "dtype", "metrics", "keep_history", "topology", "rng")
+
+
+def _function_nodes(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Optional[str]]]:
+    """Yield ``(function_node, enclosing_class_name)`` pairs, outermost only."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, None
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item, node.name
+
+
+def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s body without entering nested function/class scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _tracked_params(node: ast.AST) -> Tuple[str, ...]:
+    args = node.args  # type: ignore[attr-defined]
+    names = (
+        [a.arg for a in args.posonlyargs]
+        + [a.arg for a in args.args]
+        + [a.arg for a in args.kwonlyargs]
+    )
+    return tuple(name for name in TRACKED_KWARGS if name in names)
+
+
+def _call_covers(call: ast.Call, callee: FunctionInfo, param: str) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg is None or keyword.arg == param:
+            # Explicit keyword, or a **kwargs splat that may carry it.
+            return True
+    if any(isinstance(arg, ast.Starred) for arg in call.args):
+        return True  # positional coverage unknowable; assume forwarded
+    position = callee.positional_index(param)
+    if position is not None and len(call.args) > position:
+        return True
+    return False
+
+
+@register
+class ThreadKwargsRule(Rule):
+    id = "thread-kwargs"
+    description = (
+        "a function accepting engine/dtype/metrics/keep_history/topology/rng "
+        "must forward it to callees that accept the same kwarg"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for func, enclosing_class in _function_nodes(ctx.tree):
+            tracked = _tracked_params(func)
+            if not tracked:
+                continue
+            for node in _walk_shallow(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = resolve_call_target(
+                    node, ctx.module, ctx.imports, ctx.index, enclosing_class
+                )
+                if callee is None:
+                    continue
+                callee_kwargs = set(callee.keyword_capable)
+                for param in tracked:
+                    if param not in callee_kwargs:
+                        continue
+                    if not _call_covers(node, callee, param):
+                        name = getattr(func, "name", "<function>")
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                f"'{name}' accepts '{param}' but calls "
+                                f"'{callee.qualname}' without forwarding it; "
+                                f"pass {param}= explicitly (forward it, or "
+                                "state the intentional value) or add a "
+                                "justified suppression",
+                            )
+                        )
+        return iter(findings)
+
+
+__all__ = ["TRACKED_KWARGS", "ThreadKwargsRule"]

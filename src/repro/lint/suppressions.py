@@ -1,0 +1,91 @@
+"""Per-line suppression comments.
+
+The suppression syntax is::
+
+    # repro-lint: disable=<rule>[,<rule>...] -- <non-empty justification>
+
+A suppression written inline applies to findings on its own line; a
+suppression written on a comment-only line applies to the next line (for
+call sites too long to annotate inline).  The justification after ``--``
+is *required*: a suppression without one is not honoured and is itself
+flagged by the ``bare-suppression`` meta-rule, so lint debt can never be
+hidden silently.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"(?:\s*--\s*(.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    #: Line the suppression applies to: its own for inline comments, the
+    #: next one for standalone comment lines.
+    applies_to: int
+    raw: str
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+
+def extract_comments(source: str) -> Dict[int, str]:
+    """Map line number -> comment text for every comment in ``source``.
+
+    Uses :mod:`tokenize` so comments inside strings are not misparsed.
+    Returns an empty mapping for files that fail to tokenize (they will
+    already carry a syntax-error finding from the parser).
+    """
+    comments: Dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return comments
+
+
+def parse_suppression(line: int, comment: str, standalone: bool) -> Optional[Suppression]:
+    """Parse one comment into a :class:`Suppression`, or ``None``."""
+    match = _SUPPRESSION_RE.search(comment)
+    if match is None:
+        return None
+    rules = tuple(part.strip() for part in match.group(1).split(",") if part.strip())
+    justification = (match.group(2) or "").strip()
+    return Suppression(
+        line=line,
+        rules=rules,
+        justification=justification,
+        applies_to=line + 1 if standalone else line,
+        raw=comment.strip(),
+    )
+
+
+def extract_suppressions(source: str, lines: List[str]) -> List[Suppression]:
+    """All suppression comments in ``source``, with their target lines."""
+    suppressions: List[Suppression] = []
+    for line, comment in sorted(extract_comments(source).items()):
+        text = lines[line - 1] if 0 < line <= len(lines) else ""
+        standalone = text.lstrip().startswith("#")
+        parsed = parse_suppression(line, comment, standalone)
+        if parsed is not None:
+            suppressions.append(parsed)
+    return suppressions
+
+
+__all__ = ["Suppression", "extract_comments", "extract_suppressions", "parse_suppression"]

@@ -32,6 +32,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.topology.graphs import Topology
 from repro.utils.rand import RandomSource, resample_forbidden_targets
+from repro.utils.views import readonly
 
 #: Peer-sampling strategies accepted by :func:`resolve_peer_sampler`.
 PEER_SAMPLING_CHOICES = ("uniform", "round-robin")
@@ -45,8 +46,7 @@ _IDENTITY_CACHE: dict = {}
 def _identity_indices(n: int) -> np.ndarray:
     cached = _IDENTITY_CACHE.get(n)
     if cached is None:
-        cached = np.arange(n)
-        cached.setflags(write=False)
+        cached = readonly(np.arange(n))
         # keep the cache from growing without bound across odd sizes
         if len(_IDENTITY_CACHE) > 64:
             _IDENTITY_CACHE.clear()

@@ -1,0 +1,45 @@
+"""Read-only array view convention.
+
+Large arrays cross subsystem boundaries as *views* rather than copies:
+:func:`repro.experiments.runner.run_trials` publishes value arrays to
+pool workers through POSIX shared memory, and the engines hand out
+cached failure masks and identity index arrays shared across rounds.
+Mutating any of them corrupts state shared across trials or processes.
+
+The convention is made machine-checkable by :mod:`repro.lint`'s
+``shared-view-write`` rule: annotate a parameter ``ReadOnlyArray`` and
+the linter flags every in-place write to it (augmented assignment,
+slice assignment, ``out=`` targets, ``np.<ufunc>.at``, mutating ndarray
+methods).  At runtime ``ReadOnlyArray`` is a plain :class:`numpy.ndarray`
+alias, so annotations cost nothing; :func:`readonly` additionally sets
+``writeable=False`` so accidental writes fail fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Annotation alias marking a parameter as a shared read-only view.
+#: Enforced statically by the ``shared-view-write`` lint rule.
+ReadOnlyArray = np.ndarray
+
+
+def readonly(array: np.ndarray) -> np.ndarray:
+    """Mark ``array`` itself read-only (in place) and return it.
+
+    Used on freshly allocated cache entries that are about to be shared:
+    the returned object *is* the argument with ``writeable=False`` set,
+    so later writes raise immediately instead of corrupting shared state.
+    """
+    array.setflags(write=False)
+    return array
+
+
+def readonly_view(array: np.ndarray) -> np.ndarray:
+    """A read-only view of ``array``, leaving the original writeable."""
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+__all__ = ["ReadOnlyArray", "readonly", "readonly_view"]

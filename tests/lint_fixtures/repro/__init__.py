@@ -1,0 +1,1 @@
+# Fixture package chain: makes module_name_for resolve fixtures as repro.*.

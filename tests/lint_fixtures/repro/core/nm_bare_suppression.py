@@ -1,0 +1,8 @@
+"""Near miss: a justified suppression is honoured and lints clean."""
+
+import numpy as np
+
+
+def middle(values):
+    # repro-lint: disable=stable-sort -- fixture: demonstrates a justified suppression being honoured
+    return np.sort(values)

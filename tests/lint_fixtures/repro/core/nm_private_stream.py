@@ -1,0 +1,7 @@
+"""Near miss: deriving a private SeedSequence from the caller's source."""
+
+
+class FaultInjector:
+    def __init__(self, rng):
+        self._seed_seq = rng.seed_sequence
+        self._rng = None

@@ -1,0 +1,10 @@
+"""Near miss: seeded construction and SeedSequence stay allowed."""
+
+import numpy as np
+from numpy.random import SeedSequence
+
+
+def make_generator(seed):
+    if seed is None:
+        seed = SeedSequence(12345)
+    return np.random.default_rng(seed)

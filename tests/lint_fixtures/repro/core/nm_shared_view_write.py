@@ -1,0 +1,10 @@
+"""Near miss: reads are fine, and writes go to a private copy."""
+
+from repro.utils.views import ReadOnlyArray
+
+
+def count_survivors(alive: ReadOnlyArray) -> int:
+    mask = alive.copy()
+    mask[0] = False
+    first = bool(alive[0])
+    return int(mask.sum()) + int(first)

@@ -1,0 +1,10 @@
+"""Near miss: both sorts pin kind="stable"; builtin sorted() is untracked."""
+
+import numpy as np
+
+
+def middle(values):
+    ranks = np.argsort(values, kind="stable")
+    ordered = np.sort(values, kind="stable")
+    smallest = sorted(values.tolist())
+    return ordered[ranks[0]], smallest[0]

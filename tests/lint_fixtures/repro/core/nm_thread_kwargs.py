@@ -1,0 +1,11 @@
+"""Near miss: the tracked kwarg is forwarded (or explicitly pinned)."""
+
+
+def _helper(values, metrics=None):
+    return values, metrics
+
+
+def driver(values, metrics=None):
+    forwarded = _helper(values, metrics=metrics)
+    pinned = _helper(values, metrics=None)
+    return forwarded, pinned

@@ -1,0 +1,8 @@
+"""Near miss: perf_counter durations are always allowed."""
+
+import time
+
+
+def timed():
+    start = time.perf_counter()
+    return time.perf_counter() - start

@@ -1,0 +1,9 @@
+"""True positive: a justification-less suppression (not honoured) and a typo."""
+
+import numpy as np
+
+MARKER = 1  # repro-lint: disable=no-such-rule -- the rule name is a typo
+
+
+def middle(values):
+    return np.sort(values)  # repro-lint: disable=stable-sort

@@ -1,0 +1,6 @@
+"""True positive: a FaultInjector storing the caller's generator."""
+
+
+class FaultInjector:
+    def __init__(self, rng):
+        self._rng = rng

@@ -1,0 +1,7 @@
+"""True positive: unseeded default_rng() cannot reproduce a run."""
+
+import numpy as np
+
+
+def make_generator():
+    return np.random.default_rng()

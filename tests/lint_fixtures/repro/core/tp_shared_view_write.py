@@ -1,0 +1,7 @@
+"""True positive: element assignment into a ReadOnlyArray parameter."""
+
+from repro.utils.views import ReadOnlyArray
+
+
+def knock_out(alive: ReadOnlyArray) -> None:
+    alive[0] = False

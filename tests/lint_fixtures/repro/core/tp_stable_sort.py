@@ -1,0 +1,7 @@
+"""True positive: default introsort on a replay-critical path."""
+
+import numpy as np
+
+
+def middle(values):
+    return np.sort(values)[values.size // 2]

@@ -1,0 +1,9 @@
+"""True positive: driver accepts metrics= but drops it on the helper call."""
+
+
+def _helper(values, metrics=None):
+    return values, metrics
+
+
+def driver(values, metrics=None):
+    return _helper(values)

@@ -1,0 +1,7 @@
+"""True positive: a wall-clock timestamp in algorithm code."""
+
+import time
+
+
+def stamp():
+    return time.time()

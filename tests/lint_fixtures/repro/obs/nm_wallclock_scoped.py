@@ -1,0 +1,7 @@
+"""Near miss: repro.obs is the timing layer -- wall clock allowed here."""
+
+import time
+
+
+def stamp():
+    return time.time()
