@@ -24,6 +24,8 @@ quantile service that answers many φ queries from a single pass::
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 from contextlib import nullcontext
 from typing import List, Optional, Sequence
@@ -49,7 +51,13 @@ from repro.faults import (
     MessageDuplication,
     ValueCorruption,
 )
-from repro.gossip.engine import ENGINE_CHOICES, get_default_engine, set_default_engine
+from repro.gossip.engine import (
+    ENGINE_CHOICES,
+    get_default_engine,
+    run_protocol,
+    set_default_engine,
+)
+from repro.gossip.metrics import NetworkMetrics
 from repro.obs import (
     Tracer,
     render_profile,
@@ -63,6 +71,10 @@ from repro.topology import (
     build_topology,
     validate_topology_flags,
 )
+
+#: Engines a CLI flag may set as the ambient default — the asyncio backend
+#: owns an event loop per run, so it is per-call only (the ``net`` command).
+SIM_ENGINE_CHOICES = tuple(e for e in ENGINE_CHOICES if e != "asyncio")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -105,7 +117,7 @@ def _build_parser() -> argparse.ArgumentParser:
             help="process-pool size for experiments with parallel trial support",
         )
         exp.add_argument(
-            "--engine", choices=ENGINE_CHOICES, default=None,
+            "--engine", choices=SIM_ENGINE_CHOICES, default=None,
             help="gossip engine: auto (default), loop, or vectorized",
         )
         exp.add_argument(
@@ -170,7 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--seed", type=int, default=0)
     query.add_argument(
-        "--engine", choices=ENGINE_CHOICES, default=None,
+        "--engine", choices=SIM_ENGINE_CHOICES, default=None,
         help="gossip engine: auto (default), loop, or vectorized",
     )
     query.add_argument(
@@ -216,7 +228,7 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         command.add_argument("--seed", type=int, default=0)
         command.add_argument(
-            "--engine", choices=ENGINE_CHOICES, default=None,
+            "--engine", choices=SIM_ENGINE_CHOICES, default=None,
             help="gossip engine: auto (default), loop, or vectorized",
         )
         command.add_argument(
@@ -281,6 +293,79 @@ def _build_parser() -> argparse.ArgumentParser:
         help="'auto' rebuilds stale grid lanes (a new epoch) when churn "
              "drift crosses the rebuild threshold",
     )
+    serve.add_argument(
+        "--listen", action="store_true",
+        help="after the build, expose the service's metrics as a live "
+             "Prometheus /metrics endpoint and keep serving scrapes",
+    )
+    serve.add_argument(
+        "--prom-port", type=int, default=0, dest="prom_port",
+        help="port for --listen (default 0 = an ephemeral port, printed)",
+    )
+    serve.add_argument(
+        "--listen-probe", action="store_true", dest="listen_probe",
+        help="with --listen: scrape the endpoint once, report, and exit "
+             "(the CI-friendly smoke mode instead of serving forever)",
+    )
+
+    net = sub.add_parser(
+        "net",
+        help="run a gossip protocol on the live asyncio backend (each node "
+             "a task speaking RPC over a real transport)",
+    )
+    net.add_argument(
+        "--protocol", choices=("push-sum", "extrema"), default="push-sum",
+        help="which protocol to run over the network",
+    )
+    net.add_argument(
+        "--input", default=None,
+        help="text file with one value per line (omit for seeded gaussians)",
+    )
+    net.add_argument(
+        "--n", type=int, default=32,
+        help="node count when no --input is given (default 32)",
+    )
+    net.add_argument(
+        "--rounds", type=int, default=None,
+        help="push-sum round budget (default: the O(log n) schedule)",
+    )
+    net.add_argument("--seed", type=int, default=0)
+    net.add_argument(
+        "--transport", choices=("channel", "tcp"), default="channel",
+        help="in-process channel (default) or loopback TCP streams",
+    )
+    net.add_argument(
+        "--compare", action="store_true",
+        help="also run the simulated loop engine with the same seed and "
+             "verify round counts and message/bit totals match",
+    )
+    net.add_argument(
+        "--swim", action="store_true",
+        help="run a SWIM failure detector alongside the gossip rounds",
+    )
+    net.add_argument(
+        "--faults", choices=FAULT_KINDS, nargs="+", default=None,
+        help="inject these fault kinds at the transport level (crash kills "
+             "endpoints, drop loses frames, delay holds writes)",
+    )
+    net.add_argument(
+        "--fault-rate", type=float, default=0.05, dest="fault_rate",
+        help="per-round probability of each injected fault kind",
+    )
+    net.add_argument(
+        "--prom-port", type=int, default=None, dest="prom_port",
+        help="serve live /metrics on this port for the duration of the run "
+             "(0 = ephemeral)",
+    )
+    net.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="hard wall-clock ceiling on the whole run in seconds",
+    )
+    net.add_argument(
+        "--json", action="store_true",
+        help="emit the run summary as JSON instead of text",
+    )
+    _add_obs_flags(net)
     return parser
 
 
@@ -503,6 +588,171 @@ def _run_serve(args: argparse.Namespace):
     return "\n".join(lines), service
 
 
+async def _serve_listen(render, port: int, probe: bool) -> None:
+    """Expose ``render()`` as a live /metrics endpoint (serve --listen)."""
+    from repro.net import MetricsServer, fetch_metrics
+
+    server = MetricsServer(render, port=port)
+    await server.start()
+    print(f"metrics: http://{server.host}:{server.port}/metrics")
+    try:
+        if probe:
+            body = await fetch_metrics(server.host, server.port)
+            samples = sum(
+                1 for line in body.splitlines()
+                if line and not line.startswith("#")
+            )
+            print(f"probe: scraped {len(body)} bytes, {samples} sample(s)")
+        else:  # pragma: no cover - interactive serving loop
+            print("serving scrapes; Ctrl-C to stop")
+            await asyncio.Event().wait()
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    finally:
+        await server.stop()
+
+
+def _run_net(args: argparse.Namespace) -> str:
+    """The ``net`` subcommand: one protocol run on the asyncio backend."""
+    from repro.aggregates.extrema import ExtremaProtocol
+    from repro.aggregates.push_sum import PushSumProtocol
+    from repro.net import MetricsServer, SwimFailureDetector, arun_protocol
+    from repro.net.transport import ChannelTransport, TcpTransport
+
+    if args.input is not None:
+        values = np.loadtxt(args.input, dtype=float).ravel()
+    else:
+        values = np.random.default_rng(args.seed).normal(size=args.n)
+    n = values.size
+
+    def make_protocol():
+        if args.protocol == "push-sum":
+            return PushSumProtocol(values, rounds=args.rounds)
+        return ExtremaProtocol(values)
+
+    faults = None
+    if args.faults:
+        faults = _build_fault_injector(args.faults, args.fault_rate, args.seed)
+    detector = (
+        SwimFailureDetector(n, rng=args.seed, ping_timeout_s=0.05)
+        if args.swim
+        else None
+    )
+    metrics = NetworkMetrics()
+    transport = (
+        TcpTransport(n) if args.transport == "tcp" else ChannelTransport(n)
+    )
+
+    async def go():
+        server = None
+        if args.prom_port is not None:
+            server = MetricsServer(
+                lambda: render_prometheus(
+                    metrics={"net": metrics},
+                    faults={"net": faults} if faults is not None else None,
+                ),
+                port=args.prom_port,
+            )
+            await server.start()
+            print(f"metrics: http://{server.host}:{server.port}/metrics")
+        try:
+            return await asyncio.wait_for(
+                arun_protocol(
+                    make_protocol(),
+                    rng=args.seed,
+                    metrics=metrics,
+                    faults=faults,
+                    transport=transport,
+                    detector=detector,
+                    raise_on_budget=False,
+                ),
+                args.timeout,
+            )
+        finally:
+            if server is not None:
+                await server.stop()
+            await transport.stop()
+
+    result = asyncio.run(go())
+    summary = metrics.summary()
+    report = {
+        "protocol": result.protocol_name,
+        "engine": "asyncio",
+        "transport": args.transport,
+        "n": n,
+        "rounds": result.rounds,
+        "messages": summary["messages"],
+        "bits": summary["total_bits"],
+        "rpc_calls": result.extra["rpc_calls"],
+        "rpc_retries": result.extra["rpc_retries"],
+        "lost_messages": result.extra["lost_messages"],
+    }
+    if transport.latencies_s:
+        latencies = np.asarray(transport.latencies_s)
+        report["rpc_p50_us"] = float(np.quantile(latencies, 0.5) * 1e6)
+        report["rpc_p99_us"] = float(np.quantile(latencies, 0.99) * 1e6)
+    if detector is not None:
+        report["suspected"] = result.extra["suspected"]
+        report["confirmed_dead"] = result.extra["confirmed_dead"]
+    if faults is not None:
+        report["crashed_nodes"] = result.extra["crashed_nodes"]
+        report["faults_injected"] = {
+            kind: count
+            for kind, count in sorted(faults.counters.items())
+            if count
+        }
+    if args.compare:
+        sim_metrics = NetworkMetrics()
+        sim = run_protocol(
+            make_protocol(), rng=args.seed, metrics=sim_metrics,
+            engine="loop", raise_on_budget=False,
+        )
+        matches = (
+            sim.rounds == result.rounds
+            and sim_metrics.summary() == summary
+        )
+        if faults is not None or args.swim:
+            report["parity"] = "n/a (faults/detector change the live run)"
+        elif matches:
+            report["parity"] = (
+                f"ok: rounds={sim.rounds}, messages={summary['messages']}, "
+                f"bits={summary['total_bits']} identical on the loop engine"
+            )
+        else:
+            report["parity"] = (
+                f"MISMATCH: simulated rounds={sim.rounds} "
+                f"messages={sim_metrics.summary()['messages']} vs deployed "
+                f"rounds={result.rounds} messages={summary['messages']}"
+            )
+    if args.json:
+        return json.dumps(report, indent=2, sort_keys=True)
+    lines = [
+        f"{report['protocol']} over {args.transport} transport: "
+        f"n={n}, {report['rounds']} rounds, {report['messages']} messages, "
+        f"{report['bits']} bits",
+        f"rpc: {report['rpc_calls']} calls, {report['rpc_retries']} "
+        f"retries, {report['lost_messages']} lost",
+    ]
+    if "rpc_p99_us" in report:
+        lines.append(
+            f"latency: p50={report['rpc_p50_us']:.0f}us "
+            f"p99={report['rpc_p99_us']:.0f}us"
+        )
+    if detector is not None:
+        lines.append(
+            f"swim: suspected={report['suspected']} "
+            f"confirmed={report['confirmed_dead']}"
+        )
+    if faults is not None:
+        lines.append(
+            f"chaos: crashed={report['crashed_nodes']} "
+            f"injected={report['faults_injected']}"
+        )
+    if "parity" in report:
+        lines.append(f"parity: {report['parity']}")
+    return "\n".join(lines)
+
+
 def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
     """A tracer when any observability flag asked for one, else None.
 
@@ -573,6 +823,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "serve":
             text, service = _run_serve(args)
             print(text)
+            if args.listen:
+                served = service
+
+                def _render_service() -> str:
+                    histograms = {"query_latency": served.query_latency}
+                    faults = (
+                        {"service": served.faults}
+                        if served.faults is not None
+                        else None
+                    )
+                    return render_prometheus(
+                        metrics={
+                            "service_gossip": served.gossip_metrics,
+                            "service_queries": served.query_metrics,
+                        },
+                        histograms=histograms,
+                        faults=faults,
+                    )
+
+                asyncio.run(
+                    _serve_listen(
+                        _render_service, args.prom_port, args.listen_probe
+                    )
+                )
+        elif args.command == "net":
+            print(_run_net(args))
         else:
             print(
                 run_experiment(

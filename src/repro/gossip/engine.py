@@ -42,7 +42,9 @@ from repro.topology.sampler import (
 from repro.utils.rand import RandomSource
 
 #: Valid values for the ``engine`` argument of :func:`run_protocol`.
-ENGINE_CHOICES = ("auto", "loop", "vectorized")
+#: ``"asyncio"`` is the live-network backend (:mod:`repro.net`): the same
+#: protocol objects, each node a task speaking RPC over a real transport.
+ENGINE_CHOICES = ("auto", "loop", "vectorized", "asyncio")
 
 _default_engine = "auto"
 
@@ -58,6 +60,11 @@ def set_default_engine(name: str) -> None:
     if name not in ENGINE_CHOICES:
         raise ConfigurationError(
             f"unknown engine {name!r}; choose from {ENGINE_CHOICES}"
+        )
+    if name == "asyncio":
+        raise ConfigurationError(
+            "the asyncio engine cannot be the ambient default (it owns an "
+            "event loop per run); request it per call with engine='asyncio'"
         )
     _default_engine = name
 
@@ -248,6 +255,15 @@ def _begin_round(
     stats.record_failures(int(failed.sum()), record)
     partners = sampler.draw_round(source)
     return record, failed, partners
+
+
+# Public aliases for the engine-agnostic round scaffolding.  The asyncio
+# backend (:mod:`repro.net.runner`) builds its rounds on these, which is how
+# its random-stream consumption — failure masks, then partner draws — stays
+# bit-identical to the simulated engines and the equivalence pins hold.
+begin_run = _begin_run
+begin_round = _begin_round
+finish_run = _finish_run
 
 
 def run_protocol_loop(
@@ -471,10 +487,13 @@ def run_protocol(
 
     Dispatches to :func:`run_protocol_vectorized` when the protocol is
     batch-capable (or ``engine="vectorized"`` is forced) and to
-    :func:`run_protocol_loop` otherwise.  ``engine=None`` defers to
-    :func:`get_default_engine`.  ``topology``/``peer_sampling`` restrict
-    partner choice to a graph (``None`` = the complete graph, bit-identical
-    to the historical uniform-gossip behaviour).
+    :func:`run_protocol_loop` otherwise.  ``engine="asyncio"`` runs the
+    protocol over a live transport (:func:`repro.net.run_protocol_asyncio`,
+    in-process channel by default) — never chosen by ``"auto"``, always an
+    explicit opt-in.  ``engine=None`` defers to :func:`get_default_engine`.
+    ``topology``/``peer_sampling`` restrict partner choice to a graph
+    (``None`` = the complete graph, bit-identical to the historical
+    uniform-gossip behaviour).
 
     Passing ``failure_model`` and ``topology_process`` (and/or ``faults``)
     together is well-defined: a node sits out a round if *any* of them says
@@ -490,7 +509,16 @@ def run_protocol(
         )
     if choice == "auto":
         choice = "vectorized" if supports_batch(protocol) else "loop"
-    runner = run_protocol_vectorized if choice == "vectorized" else run_protocol_loop
+    if choice == "asyncio":
+        # Imported lazily: repro.net imports this module for the round
+        # scaffolding, so a top-level import would be a cycle.
+        from repro.net.runner import run_protocol_asyncio
+
+        runner: Callable[..., EngineResult] = run_protocol_asyncio
+    elif choice == "vectorized":
+        runner = run_protocol_vectorized
+    else:
+        runner = run_protocol_loop
     return runner(
         protocol,
         rng=rng,

@@ -97,6 +97,21 @@ class GossipProtocol(abc.ABC):
     def on_send_success(self, node: int, round_index: int) -> None:
         """Called after a node's push was delivered (it did not fail)."""
 
+    def on_send_failure(self, node: int, payload: Any, round_index: int) -> None:
+        """A node's push could not be delivered (dead peer, lost frame).
+
+        Only the live backend (:mod:`repro.net`) can observe this — on the
+        simulated engines a push either happens or the node sat the round
+        out.  The default is the Section-5 "keep your half" rule: the
+        undeliverable payload is re-merged into the sender itself, so
+        conserved quantities (push-sum mass and weight) survive peers dying
+        mid-run and a degraded run still converges to an honest value over
+        the surviving nodes.  Idempotent-merge protocols (extrema) are
+        unaffected by the self-delivery.  Override to drop the payload (and
+        the mass) instead, or to trigger protocol-specific recovery.
+        """
+        self.on_receive(node, payload, node, "push", round_index)
+
     def end_round(self, round_index: int) -> None:
         """Called after all deliveries of a round."""
 

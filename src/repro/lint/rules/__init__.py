@@ -8,7 +8,10 @@ all the runner needs to populate the registry.
 from __future__ import annotations
 
 from repro.lint.rules import (  # noqa: F401  (imports register the rules)
+    async_private_stream,
     bare_suppression,
+    no_blocking_in_loop,
+    no_unawaited_send,
     private_stream,
     rng_discipline,
     shared_view_write,
@@ -18,7 +21,10 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
 )
 
 __all__ = [
+    "async_private_stream",
     "bare_suppression",
+    "no_blocking_in_loop",
+    "no_unawaited_send",
     "private_stream",
     "rng_discipline",
     "shared_view_write",

@@ -1,0 +1,131 @@
+"""``async-private-stream``: no RNG generator shared across asyncio tasks.
+
+A :class:`~repro.utils.rand.RandomSource` (or raw numpy ``Generator``) is
+stateful: every draw advances it.  Hand the *same* generator to several
+concurrently scheduled tasks and the draw order — and therefore every
+seeded result — depends on how the event loop happened to interleave them.
+That is precisely the nondeterminism the repository's private-stream
+design rule exists to prevent, and it is invisible in single-task tests.
+
+The rule flags fan-outs — ``asyncio.create_task`` / ``ensure_future`` /
+``TaskGroup.create_task`` inside a loop, or ``asyncio.gather`` over a
+comprehension — whose task arguments reference a shared generator binding
+(a name assigned from ``RandomSource(...)`` or ``default_rng(...)``).
+The sanctioned pattern is per-task streams derived *before* the fan-out:
+``rng.spawn(k)`` / ``rng.child()`` / ``SeedSequence.spawn``, one stream
+per task, which keeps each task's draws independent of scheduling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.callgraph import dotted_name
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Callables whose result is a shared, stateful generator.
+_GENERATOR_FACTORIES = ("RandomSource", "default_rng")
+
+#: Method names that schedule a coroutine as a concurrent task.
+_SPAWNERS = ("create_task", "ensure_future")
+
+
+def _is_generator_factory(call: ast.Call) -> bool:
+    dotted = dotted_name(call.func)
+    if dotted is None and isinstance(call.func, ast.Name):
+        dotted = call.func.id
+    if dotted is None:
+        return False
+    tail = dotted.rsplit(".", 1)[-1]
+    return tail in _GENERATOR_FACTORIES
+
+
+def _shared_generator_names(tree: ast.Module) -> Set[str]:
+    """Names bound directly to a generator object (not to a derived child)."""
+    shared: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _is_generator_factory(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        shared.add(target.id)
+    return shared
+
+
+def _references(node: ast.AST, names: Set[str]) -> bool:
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name) and inner.id in names:
+            return True
+    return False
+
+
+def _spawner_calls(node: ast.AST) -> Iterator[ast.Call]:
+    for inner in ast.walk(node):
+        if not isinstance(inner, ast.Call):
+            continue
+        func = inner.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in _SPAWNERS:
+            yield inner
+
+
+@register
+class AsyncPrivateStreamRule(Rule):
+    id = "async-private-stream"
+    description = (
+        "no shared RNG generator passed into concurrently spawned asyncio "
+        "tasks; derive per-task streams (spawn/child) before the fan-out"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        shared = _shared_generator_names(ctx.tree)
+        if not shared:
+            return iter(())
+        findings: List[Finding] = []
+        seen: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            # Fan-out shape 1: spawning tasks from inside a loop.
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                for call in _spawner_calls(node):
+                    if id(call) in seen:
+                        continue
+                    if any(_references(arg, shared) for arg in call.args):
+                        seen.add(id(call))
+                        findings.append(self._finding_for(ctx, call))
+            # Fan-out shape 2: gather over a comprehension of coroutines.
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None or not dotted.endswith("gather"):
+                    continue
+                for arg in node.args:
+                    target = arg.value if isinstance(arg, ast.Starred) else arg
+                    if isinstance(
+                        target, (ast.GeneratorExp, ast.ListComp)
+                    ) and _references(target.elt, shared):
+                        if id(node) not in seen:
+                            seen.add(id(node))
+                            findings.append(self._finding_for(ctx, node))
+        return iter(findings)
+
+    def _finding_for(self, ctx: ModuleContext, node: ast.Call) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            "a shared RNG generator is passed into concurrently spawned "
+            "tasks; the draw order then depends on event-loop scheduling "
+            "and seeded runs stop replaying — derive one stream per task "
+            "with rng.spawn()/rng.child() before the fan-out",
+        )
+
+
+__all__ = ["AsyncPrivateStreamRule"]

@@ -1,0 +1,93 @@
+"""``no-blocking-in-loop``: no blocking calls inside ``repro.net`` coroutines.
+
+A synchronous sleep, socket or file operation inside a coroutine freezes
+the *entire* event loop: every node task, every RPC deadline timer and the
+metrics endpoint stall together.  Worse than slow — it distorts exactly
+the timing behaviour (suspicion latency, retry schedules) the net test
+suite pins.  Blocking work belongs in ``await``-able form
+(``asyncio.sleep``, stream APIs) or behind ``run_in_executor``.
+
+Scoped to :mod:`repro.net`, the only package whose code runs on an event
+loop; flagged only *inside* ``async def`` bodies, so module-level setup
+and plain helper functions may still open files.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.callgraph import dotted_name
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Dotted-name suffixes of blocking calls that stall an event loop.
+_BLOCKING_SUFFIXES = (
+    "time.sleep",
+    "socket.socket",
+    "socket.create_connection",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "os.system",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+)
+
+
+def _matches_blocking(dotted: str) -> bool:
+    for suffix in _BLOCKING_SUFFIXES:
+        if dotted == suffix or dotted.endswith("." + suffix):
+            return True
+    return False
+
+
+@register
+class NoBlockingInLoopRule(Rule):
+    id = "no-blocking-in-loop"
+    description = (
+        "no time.sleep / sync socket / sync file IO inside repro.net "
+        "coroutines; one blocking call stalls every node task on the loop"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro.net")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                if isinstance(inner.func, ast.Name) and inner.func.id == "open":
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            inner,
+                            "open() inside a coroutine blocks the event "
+                            "loop on disk IO; read the file before the "
+                            "async phase or use run_in_executor",
+                        )
+                    )
+                    continue
+                dotted = dotted_name(inner.func)
+                if dotted is not None and _matches_blocking(dotted):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            inner,
+                            f"{dotted}() blocks the event loop inside a "
+                            "coroutine — every node task and RPC deadline "
+                            "stalls with it; use the asyncio equivalent "
+                            "(asyncio.sleep, streams, run_in_executor)",
+                        )
+                    )
+        return iter(findings)
+
+
+__all__ = ["NoBlockingInLoopRule"]

@@ -6,6 +6,13 @@ machine-diffable experiment rows.  Only :mod:`repro.obs` (whose job is
 timing) and the ``benchmarks/`` scripts may read the wall clock;
 ``time.perf_counter`` is always fine (a duration, not a timestamp, and
 only ever observed — never fed back into algorithm state).
+
+The event-loop clock (``loop.time()``) gets the same treatment with its
+own containment: only :mod:`repro.net.transport` may read it (per-RPC
+latency is a transport property).  Protocol, runner or detector code
+timing itself off the loop clock would couple seeded behaviour to
+scheduling jitter — deadlines belong to ``asyncio.wait_for``, latency
+measurement to the transport.
 """
 
 from __future__ import annotations
@@ -80,6 +87,20 @@ class WallclockRule(Rule):
                     continue
                 if _matches_suffix(dotted):
                     findings.append(self._finding_for(ctx, node, dotted))
+                elif (
+                    (dotted == "loop.time" or dotted.endswith("loop.time"))
+                    and ctx.module != "repro.net.transport"
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"{dotted}() reads the event-loop clock outside "
+                            "repro.net.transport; RPC latency is measured "
+                            "by the transport — use asyncio.wait_for for "
+                            "deadlines instead of hand-rolled clock math",
+                        )
+                    )
         return iter(findings)
 
     def _finding_for(self, ctx: ModuleContext, node: ast.Call, name: str) -> Finding:

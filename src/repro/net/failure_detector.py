@@ -1,0 +1,284 @@
+"""SWIM-style failure suspicion for the asyncio backend.
+
+The SWIM loop (Das, Gupta, Motivala 2002), mapped onto the synchronous
+round structure so its behaviour is deterministic and testable in rounds
+rather than wall time:
+
+1. every round, every live node **direct-pings** one peer from its own
+   seeded probe schedule;
+2. on deadline/refusal it asks ``k`` proxy peers to **indirect ping-req**
+   the target on its behalf;
+3. if neither path answers, the target becomes **suspected** (with the
+   round index recorded — time-to-suspicion is measured in rounds);
+4. a target that stays unreachable for ``confirm_after_rounds``
+   consecutive rounds is **confirmed** dead; any successful contact in the
+   meantime clears the suspicion (a recovered false positive, counted).
+
+Suspicions piggyback on gossip pushes (the runner attaches
+:meth:`digest` to every push frame and feeds received digests back through
+:meth:`merge_digest`), so dissemination rides the existing message flow —
+no extra message class — exactly as in SWIM.
+
+Determinism: probe targets and proxy choices come from a private
+:class:`~repro.utils.rand.RandomSource` fixed at construction, so a seeded
+chaos run replays the same probe schedule; ping RPCs go through the
+shared :class:`~repro.net.rpc.RpcClient` but are *not* charged to the
+run's :class:`~repro.gossip.metrics.NetworkMetrics` — detector traffic is
+control-plane overhead, kept out of the simulated ≡ deployed accounting
+pins and reported separately via :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.net.rpc import RpcClient, RpcError
+from repro.utils.rand import RandomSource, SeedLike
+
+
+@dataclass
+class SuspicionState:
+    """Book-keeping for one suspected peer."""
+
+    since_round: int
+    last_bad_round: int
+    confirmed_round: Optional[int] = None
+    via_gossip: bool = False
+
+
+@dataclass
+class DetectorStats:
+    """Aggregate detector counters for one run."""
+
+    direct_pings: int = 0
+    indirect_pings: int = 0
+    suspicions: int = 0
+    confirmations: int = 0
+    false_positives_cleared: int = 0
+    gossip_disseminations: int = 0
+    events: List[Tuple[str, int, int]] = field(default_factory=list)
+
+
+class SwimFailureDetector:
+    """Round-driven SWIM suspicion over an :class:`RpcClient`."""
+
+    def __init__(
+        self,
+        n: int,
+        rng: SeedLike = None,
+        k_indirect: int = 2,
+        ping_timeout_s: float = 0.05,
+        confirm_after_rounds: int = 2,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError("the detector needs at least 2 nodes")
+        if k_indirect < 0 or k_indirect > n - 2:
+            raise ConfigurationError(
+                f"k_indirect must be in [0, n-2], got {k_indirect}"
+            )
+        if ping_timeout_s <= 0:
+            raise ConfigurationError("ping_timeout_s must be positive")
+        if confirm_after_rounds < 1:
+            raise ConfigurationError("confirm_after_rounds must be >= 1")
+        self.n = n
+        self.k_indirect = int(k_indirect)
+        self.ping_timeout_s = float(ping_timeout_s)
+        self.confirm_after_rounds = int(confirm_after_rounds)
+        if isinstance(rng, RandomSource):
+            self._seed_seq = rng.seed_sequence
+        elif isinstance(rng, np.random.SeedSequence):
+            self._seed_seq = rng
+        else:
+            self._seed_seq = np.random.SeedSequence(rng)
+        self._rng: Optional[RandomSource] = None
+        self._probe_order: Optional[np.ndarray] = None
+        self.suspects: Dict[int, SuspicionState] = {}
+        self.stats = DetectorStats()
+        self._rpc: Optional[RpcClient] = None
+        self.begin()
+
+    # -- lifecycle ---------------------------------------------------------
+    def begin(self) -> None:
+        """Reset to round 0, replaying the identical probe schedule."""
+        self._rng = RandomSource(self._seed_seq)
+        # Per-node probe permutation over the other n-1 peers: node v probes
+        # probe_order[v][r mod (n-1)] in round r — SWIM's round-robin probe
+        # with a seeded, per-node shuffle.
+        order = np.empty((self.n, self.n - 1), dtype=np.int64)
+        for node in range(self.n):
+            others = np.concatenate(
+                [np.arange(node), np.arange(node + 1, self.n)]
+            )
+            order[node] = self._rng.permutation(others)
+        self._probe_order = order
+        self.suspects = {}
+        self.stats = DetectorStats()
+
+    def attach(self, rpc: RpcClient) -> None:
+        """Bind the detector to a run's RPC client (the runner calls this)."""
+        self._rpc = rpc
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def suspected(self) -> Set[int]:
+        return set(self.suspects)
+
+    @property
+    def confirmed(self) -> Set[int]:
+        return {
+            node
+            for node, state in self.suspects.items()
+            if state.confirmed_round is not None
+        }
+
+    def suspicion_round(self, node: int) -> Optional[int]:
+        state = self.suspects.get(node)
+        return None if state is None else state.since_round
+
+    def confirmation_round(self, node: int) -> Optional[int]:
+        state = self.suspects.get(node)
+        return None if state is None else state.confirmed_round
+
+    # -- piggyback ---------------------------------------------------------
+    def digest(self) -> List[int]:
+        """Suspected node ids to piggyback on outgoing gossip pushes."""
+        return sorted(self.suspects)
+
+    def merge_digest(self, suspected: Iterable[int], round_index: int) -> None:
+        """Fold a piggybacked digest from a received push into local state."""
+        for node in suspected:
+            node = int(node)
+            if 0 <= node < self.n and node not in self.suspects:
+                self.suspects[node] = SuspicionState(
+                    since_round=round_index,
+                    last_bad_round=round_index,
+                    via_gossip=True,
+                )
+                self.stats.suspicions += 1
+                self.stats.gossip_disseminations += 1
+                self.stats.events.append(("suspect-gossip", node, round_index))
+
+    # -- the SWIM round ----------------------------------------------------
+    async def run_round(self, round_index: int, probers: Iterable[int]) -> None:
+        """One SWIM protocol period: every prober probes one peer.
+
+        ``probers`` is the set of locally-live nodes this round (the runner
+        passes the nodes whose transport endpoint is up); dead nodes do not
+        probe, exactly as their real tasks would not.
+        """
+        if self._rpc is None:
+            raise ConfigurationError("attach() an RpcClient before run_round()")
+        # Proxy draws consume the private stream in node order — one draw
+        # per prober per round regardless of ping outcomes, so the schedule
+        # replays identically whatever the network does.
+        probers = sorted(int(p) for p in probers)
+        proxy_draws: Dict[int, np.ndarray] = {}
+        for prober in probers:
+            proxy_draws[prober] = self._rng.integers(
+                0, self.n, size=max(self.k_indirect * 2, 1)
+            )
+        await asyncio.gather(
+            *(
+                self._probe(prober, round_index, proxy_draws[prober])
+                for prober in probers
+            )
+        )
+        self._advance_confirmations(round_index)
+
+    async def _probe(
+        self, prober: int, round_index: int, proxy_draws: np.ndarray
+    ) -> None:
+        target = int(self._probe_order[prober][round_index % (self.n - 1)])
+        ok = await self._direct_ping(prober, target)
+        if not ok and self.k_indirect > 0:
+            ok = await self._indirect_ping(prober, target, proxy_draws)
+        if ok:
+            self._mark_alive(target, round_index)
+        else:
+            self._mark_suspected(target, round_index)
+
+    async def _direct_ping(self, prober: int, target: int) -> bool:
+        self.stats.direct_pings += 1
+        try:
+            await self._rpc.call(
+                prober,
+                target,
+                {"kind": "ping", "src": prober},
+                timeout_s=self.ping_timeout_s,
+                attempts=1,
+            )
+            return True
+        except RpcError:
+            return False
+
+    async def _indirect_ping(
+        self, prober: int, target: int, proxy_draws: np.ndarray
+    ) -> bool:
+        proxies: List[int] = []
+        for candidate in proxy_draws:
+            candidate = int(candidate)
+            if candidate not in (prober, target) and candidate not in proxies:
+                proxies.append(candidate)
+            if len(proxies) == self.k_indirect:
+                break
+        if not proxies:
+            return False
+        self.stats.indirect_pings += len(proxies)
+        results = await asyncio.gather(
+            *(
+                self._ping_req(prober, proxy, target)
+                for proxy in proxies
+            )
+        )
+        return any(results)
+
+    async def _ping_req(self, prober: int, proxy: int, target: int) -> bool:
+        try:
+            reply = await self._rpc.call(
+                prober,
+                proxy,
+                {
+                    "kind": "ping-req",
+                    "src": prober,
+                    "target": target,
+                    "timeout_s": self.ping_timeout_s,
+                },
+                timeout_s=3.0 * self.ping_timeout_s,
+                attempts=1,
+            )
+            return bool(reply.get("ok"))
+        except RpcError:
+            return False
+
+    # -- state transitions -------------------------------------------------
+    def _mark_alive(self, node: int, round_index: int) -> None:
+        state = self.suspects.get(node)
+        if state is not None and state.confirmed_round is None:
+            del self.suspects[node]
+            self.stats.false_positives_cleared += 1
+            self.stats.events.append(("clear", node, round_index))
+
+    def _mark_suspected(self, node: int, round_index: int) -> None:
+        state = self.suspects.get(node)
+        if state is None:
+            self.suspects[node] = SuspicionState(
+                since_round=round_index, last_bad_round=round_index
+            )
+            self.stats.suspicions += 1
+            self.stats.events.append(("suspect", node, round_index))
+        else:
+            state.last_bad_round = round_index
+
+    def _advance_confirmations(self, round_index: int) -> None:
+        for node, state in self.suspects.items():
+            if state.confirmed_round is None and (
+                round_index - state.since_round + 1 >= self.confirm_after_rounds
+            ):
+                state.confirmed_round = round_index
+                self.stats.confirmations += 1
+                self.stats.events.append(("confirm", node, round_index))

@@ -1,0 +1,118 @@
+"""Newscast membership for the live backend, with dead-peer exclusion.
+
+:class:`~repro.topology.dynamic.EdgeResamplingProcess` already *is* the
+newscast peer-sampling service — periodically re-drawn bounded views that
+gossip like an expander.  The live backend needs one more thing from a
+membership service: stop handing out peers the failure detector has
+confirmed dead.  :class:`NewscastMembership` adds exactly that: an
+exclusion set fed by :class:`~repro.net.failure_detector.SwimFailureDetector`
+confirmations (or by the runner's transport-crash bookkeeping), honoured
+at the next view resample.
+
+With no exclusions the process delegates to the parent resample verbatim,
+so its random stream — and therefore every simulated-vs-deployed
+equivalence pin that runs under a newscast process — is bit-identical to
+:class:`EdgeResamplingProcess`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.topology.dynamic import EdgeResamplingProcess, RoundState
+from repro.topology.graphs import Topology
+from repro.topology.sampler import NeighborSampler
+from repro.utils.rand import SeedLike
+
+
+class NewscastMembership(EdgeResamplingProcess):
+    """Edge-resampling membership whose views avoid excluded (dead) peers."""
+
+    def __init__(
+        self,
+        n: int,
+        view_size: int = 8,
+        resample_every: int = 1,
+        symmetrize: bool = False,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__(
+            n,
+            view_size=view_size,
+            resample_every=resample_every,
+            symmetrize=symmetrize,
+            rng=rng,
+        )
+        self._excluded: Set[int] = set()
+
+    @property
+    def excluded(self) -> Set[int]:
+        """Peers currently withheld from fresh views (a copy)."""
+        return set(self._excluded)
+
+    def exclude(self, nodes: Iterable[int]) -> None:
+        """Withhold ``nodes`` from all views drawn at the next resample."""
+        for node in nodes:
+            node = int(node)
+            if not 0 <= node < self.n:
+                raise ConfigurationError(
+                    f"node {node} out of range [0, {self.n})"
+                )
+            self._excluded.add(node)
+        if len(self._excluded) >= self.n - 1:
+            raise ConfigurationError(
+                "membership needs at least 2 live peers to draw views"
+            )
+        # Invalidate the cached round state so the next round_state() call
+        # resamples with the new exclusion set instead of serving stale
+        # views that still point at dead peers.
+        self._state = None
+
+    def readmit(self, nodes: Iterable[int]) -> None:
+        """Allow previously excluded ``nodes`` back into fresh views."""
+        for node in nodes:
+            self._excluded.discard(int(node))
+
+    def _resample_views(self) -> None:
+        if not self._excluded:
+            # Zero-exclusion runs keep the parent's stream bit-identical.
+            super()._resample_views()
+            return
+        live = np.array(
+            sorted(set(range(self.n)) - self._excluded), dtype=np.int64
+        )
+        own = np.arange(self.n, dtype=np.int64)[:, None]
+        # Draw view slots as indices into the live id set, then reject
+        # self-loops the same masked-batch way as the parent resample.
+        slots = self._rng.integers(0, live.size, size=(self.n, self.view_size))
+        targets = live[slots]
+        mask = targets == own
+        while np.any(mask):
+            redraw = self._rng.integers(0, live.size, size=int(mask.sum()))
+            targets[mask] = live[redraw]
+            mask = targets == own
+        indptr = np.arange(
+            0, (self.n + 1) * self.view_size, self.view_size, dtype=np.int64
+        )
+        topology = Topology(
+            name="newscast-live",
+            n=self.n,
+            indptr=indptr,
+            indices=np.ascontiguousarray(targets.ravel()),
+            params={
+                "view_size": self.view_size,
+                "resample_every": self.resample_every,
+                "excluded": len(self._excluded),
+            },
+        )
+        # Excluded peers neither appear in views nor act: fold them out of
+        # the round's active mask so their state freezes, exactly like a
+        # churn departure.
+        active = np.ones(self.n, dtype=bool)
+        active[list(self._excluded)] = False
+        self._topology = topology
+        self._state = RoundState(active, NeighborSampler(topology))
+        self.resamples += 1

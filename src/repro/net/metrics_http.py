@@ -1,0 +1,107 @@
+"""A live ``/metrics`` endpoint for the asyncio backend.
+
+A deliberately tiny HTTP/1.0 server: ``GET /metrics`` renders whatever the
+caller's ``render`` callable returns *at scrape time* — typically
+:func:`repro.obs.exporters.render_prometheus` closed over the live run's
+tracer, :class:`~repro.gossip.metrics.NetworkMetrics` and fault injector —
+in the Prometheus text exposition format.  Anything else is a 404.
+
+It runs on the same event loop as the gossip round tasks, so scrapes
+interleave with live rounds (the smoke test scrapes mid-run) without
+threads or locks: the render callable executes between round awaits and
+sees a consistent counter snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+
+class MetricsServer:
+    """Serve ``render()`` as ``GET /metrics`` on a loopback port."""
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+        self.scrapes = 0
+
+    async def start(self) -> None:
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain headers until the blank line; we only route on the
+            # request line.
+            while True:
+                line = await reader.readline()
+                if line in (b"", b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            if len(parts) >= 2 and parts[0] == "GET" and (
+                parts[1] == "/metrics" or parts[1] == "/metrics/"
+            ):
+                body = self._render().encode("utf-8")
+                self.scrapes += 1
+                head = (
+                    "HTTP/1.0 200 OK\r\n"
+                    "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                )
+                writer.write(head.encode("latin-1") + body)
+            else:
+                writer.write(
+                    b"HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n"
+                )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+
+async def fetch_metrics(
+    host: str, port: int, path: str = "/metrics", timeout_s: float = 5.0
+) -> str:
+    """Scrape an HTTP endpoint and return its body (the test/CLI probe)."""
+
+    async def _fetch() -> str:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
+            )
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        if " 200 " not in status + " ":
+            raise ConnectionError(f"scrape failed: {status}")
+        return body.decode("utf-8", "replace")
+
+    return await asyncio.wait_for(_fetch(), timeout_s)

@@ -1,0 +1,406 @@
+"""The asyncio round engine: simulated semantics over a real transport.
+
+:func:`run_protocol_asyncio` is the third engine behind
+:func:`repro.gossip.engine.run_protocol` (``engine="asyncio"``).  It runs
+the *same* :class:`~repro.gossip.protocol.GossipProtocol` implementations,
+unmodified, with every node's round executed by its own asyncio task
+speaking push / pull / push-pull RPC through a
+:class:`~repro.net.transport.Transport`.
+
+Equivalence with the simulated engines is by construction, not by luck:
+
+* the round prologue — metrics record, failure mask, partner draw — is the
+  engines' shared :func:`~repro.gossip.engine.begin_round`, so the engine
+  random stream is consumed identically and round counts match;
+* message/bit accounting applies the loop engine's exact formulas (one
+  message per push and per pull *response*, ``protocol.message_bits`` with
+  the ``payload_bits`` fallback), so ``NetworkMetrics`` totals match;
+* rounds are synchronous: all acts happen before any delivery (a barrier,
+  as in the simulated engines), then delivery tasks run concurrently.
+  Concurrent delivery is why the backend requires the delivery-order
+  independence contract that :class:`~repro.gossip.protocol.
+  BatchGossipProtocol` marks — the same contract the vectorized engine
+  already relies on.
+
+Faults (``faults=``) are reinterpreted at the transport level: ``crash``
+kills the node's endpoint for its downtime (callers get connection
+refused), ``drop`` loses the frame in flight, ``delay`` holds the write,
+``corrupt`` scales the payload in flight, ``duplicate`` delivers (and
+charges) the frame twice.  The injector's private stream is consumed one
+draw per round exactly as on the simulated engines, so a seeded chaos
+schedule replays bit-for-bit across all three engines.  Two documented
+deviations from the simulated fault semantics: a dropped frame here is
+*sent and lost* (the sender still acted) rather than act-suppressed, and
+a crash-restart does not reset values (state restoration is a storage
+concern the live backend does not model).
+
+When a push cannot be delivered — dead peer, exhausted retries — the
+engine invokes the protocol's graceful-degradation hook
+:meth:`~repro.gossip.protocol.GossipProtocol.on_send_failure`, whose
+default re-merges the undeliverable payload into the sender (the
+Section-5 "keep your half" rule), so conserved aggregates (push-sum mass)
+survive peers dying mid-run and an in-flight quantile query can complete
+with honestly widened bounds (:mod:`repro.net.quantile`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ConvergenceError, ProtocolError
+from repro.faults.injectors import FaultInjector, RoundFaults
+from repro.gossip.engine import (
+    begin_round,
+    begin_run,
+    finish_run,
+    supports_batch,
+    EngineResult,
+)
+from repro.gossip.failures import FailureModel
+from repro.gossip.messages import payload_bits
+from repro.gossip.metrics import NetworkMetrics, RoundRecord
+from repro.gossip.protocol import Action, GossipProtocol
+from repro.net.failure_detector import SwimFailureDetector
+from repro.net.rpc import RetryPolicy, RpcClient, RpcError
+from repro.net.transport import Transport, resolve_transport
+from repro.obs.tracer import get_tracer
+from repro.topology.dynamic import TopologyProcess
+from repro.topology.graphs import Topology
+from repro.utils.rand import RandomSource
+
+
+def _scale_payload(payload: Any, factor: float) -> Any:
+    """Scale every numeric lane of a payload (in-flight corruption)."""
+    if payload is None:
+        return None
+    if isinstance(payload, (tuple, list)):
+        scaled = [_scale_payload(item, factor) for item in payload]
+        return tuple(scaled) if isinstance(payload, tuple) else scaled
+    return type(payload)(float(payload) * factor)
+
+
+def _message_bits(protocol: GossipProtocol, payload: Any, n: int) -> int:
+    bits = protocol.message_bits(payload)
+    if bits is None:
+        bits = payload_bits(payload, n=n)
+    return int(bits)
+
+
+class _NodeHost:
+    """Per-run server side: answers push / pull / ping / ping-req frames.
+
+    One instance serves every node (the handler receives the destination
+    id), mirroring how the simulated engines hold all node state in one
+    protocol object; the per-node identity lives in the frames.
+    """
+
+    def __init__(
+        self,
+        protocol: GossipProtocol,
+        detector: Optional[SwimFailureDetector],
+    ) -> None:
+        self.protocol = protocol
+        self.detector = detector
+        self.rpc: Optional[RpcClient] = None
+
+    async def handle(self, dst: int, frame: Dict[str, Any]) -> Dict[str, Any]:
+        kind = frame.get("kind")
+        if kind == "push":
+            suspected = frame.get("sus")
+            if suspected and self.detector is not None:
+                self.detector.merge_digest(suspected, int(frame["round"]))
+            self.protocol.on_receive(
+                dst, frame["payload"], int(frame["src"]), "push", int(frame["round"])
+            )
+            return {"ok": True}
+        if kind == "pull":
+            payload = self.protocol.serve_pull(
+                dst, int(frame["src"]), int(frame["round"])
+            )
+            return {"payload": payload}
+        if kind == "ping":
+            return {"ok": True}
+        if kind == "ping-req":
+            # Indirect probe: ping the target on the requester's behalf.
+            if self.rpc is None:
+                return {"ok": False}
+            try:
+                await self.rpc.call(
+                    dst,
+                    int(frame["target"]),
+                    {"kind": "ping", "src": dst},
+                    timeout_s=float(frame.get("timeout_s", 0.05)),
+                    attempts=1,
+                )
+                return {"ok": True}
+            except RpcError:
+                return {"ok": False}
+        raise ProtocolError(f"unknown frame kind {kind!r}")
+
+
+async def arun_protocol(
+    protocol: GossipProtocol,
+    rng: Union[None, int, RandomSource] = None,
+    failure_model: Union[None, float, FailureModel] = None,
+    max_rounds: int = 10_000,
+    metrics: Optional[NetworkMetrics] = None,
+    raise_on_budget: bool = True,
+    topology: Optional[Topology] = None,
+    peer_sampling: str = "uniform",
+    topology_process: Optional[TopologyProcess] = None,
+    on_round: Optional[Callable[[RoundRecord, float], None]] = None,
+    faults: Optional[FaultInjector] = None,
+    transport: Union[None, str, Transport] = None,
+    retry: Optional[RetryPolicy] = None,
+    detector: Optional[SwimFailureDetector] = None,
+    delay_unit_s: float = 0.005,
+) -> EngineResult:
+    """Async body of :func:`run_protocol_asyncio` (compose with servers)."""
+    if not supports_batch(protocol):
+        raise ProtocolError(
+            f"protocol {protocol.name!r} does not declare the delivery-order "
+            "independence contract (BatchGossipProtocol) the asyncio engine "
+            "requires; run it on the loop engine instead"
+        )
+    n = protocol.n
+    live_transport, owned = resolve_transport(transport, n)
+    rpc = RpcClient(live_transport, retry)
+    host = _NodeHost(protocol, detector)
+    host.rpc = rpc
+    for node in range(n):
+        live_transport.register(node, host.handle)
+    await live_transport.start()
+    if detector is not None:
+        detector.attach(rpc)
+
+    source, failures, stats, sampler = begin_run(
+        protocol, rng, failure_model, metrics, topology, peer_sampling,
+        topology_process, None,
+    )
+    hook = on_round if on_round is not None else get_tracer().on_round
+    lost_pushes = 0
+    fault_killed: set = set()
+
+    async def deliver_node_round(
+        node: int,
+        action: Action,
+        partner: int,
+        round_index: int,
+        rf: Optional[RoundFaults],
+        suspicion: Optional[List[int]],
+    ) -> int:
+        lost = 0
+        if action.kind in ("push", "pushpull"):
+            payload = action.payload
+            if rf is not None and rf.corruption[node] != 1.0:
+                payload = _scale_payload(payload, float(rf.corruption[node]))
+            bits = _message_bits(protocol, action.payload, n)
+            frame = {
+                "kind": "push",
+                "src": node,
+                "round": round_index,
+                "payload": payload,
+            }
+            if suspicion:
+                frame["sus"] = suspicion
+            if rf is not None and rf.delay[node] > 0:
+                # A held write: the frame leaves late but within the round
+                # barrier, so synchronous semantics survive bounded delays.
+                await asyncio.sleep(delay_unit_s * int(rf.delay[node]))
+            if rf is not None and rf.dropped[node]:
+                # Lost datagram: sent, never delivered.
+                lost += 1
+                protocol.on_send_failure(node, action.payload, round_index)
+            else:
+                try:
+                    await rpc.call(node, partner, frame)
+                    stats.record_messages(1, bits, record)
+                    protocol.on_send_success(node, round_index)
+                    if rf is not None and rf.duplicated[node]:
+                        await rpc.call(node, partner, frame)
+                        stats.record_messages(1, bits, record)
+                except RpcError:
+                    lost += 1
+                    protocol.on_send_failure(node, action.payload, round_index)
+        if action.kind in ("pull", "pushpull"):
+            try:
+                reply = await rpc.call(
+                    node,
+                    partner,
+                    {"kind": "pull", "src": node, "round": round_index},
+                )
+            except RpcError:
+                # The pull went unanswered: the node keeps its prior value,
+                # exactly what a failed pull means on the simulated engines.
+                lost += 1
+            else:
+                response = reply["payload"]
+                bits = _message_bits(protocol, response, n)
+                stats.record_messages(1, bits, record)
+                protocol.on_receive(node, response, partner, "pull", round_index)
+        return lost
+
+    try:
+        round_index = 0
+        completed = protocol.is_done(round_index)
+        while not completed and round_index < max_rounds:
+            if hook is not None:
+                round_started = perf_counter()
+            rf: Optional[RoundFaults] = None
+            if faults is not None:
+                rf = faults.draw(round_index, n)
+                stats.record_faults_injected(rf.injected)
+                for node in np.flatnonzero(rf.crashed):
+                    node = int(node)
+                    if not live_transport.is_down(node):
+                        live_transport.kill(node, mode="refuse")
+                        fault_killed.add(node)
+                for node in np.flatnonzero(rf.restarted):
+                    node = int(node)
+                    if node in fault_killed:
+                        live_transport.revive(node)
+                        fault_killed.discard(node)
+
+            record, failed, partners = begin_round(
+                protocol, round_index, n, source, failures, stats, sampler,
+                topology_process, None,
+            )
+            down = live_transport.down
+            if down:
+                extra_failed = sum(
+                    1 for node in down if not failed[node]
+                )
+                if extra_failed:
+                    stats.record_failures(extra_failed, record)
+
+            # Act barrier: every live node's act-phase state transition
+            # happens before any delivery, as in the simulated engines.
+            actions: List[Optional[Action]] = [None] * n
+            for node in range(n):
+                if failed[node] or node in down:
+                    continue
+                action = protocol.act(node, round_index)
+                if not isinstance(action, Action):
+                    raise ProtocolError(
+                        f"{protocol.name}: act() must return an Action, "
+                        f"got {action!r}"
+                    )
+                actions[node] = action
+
+            suspicion = detector.digest() if detector is not None else None
+            deliveries = [
+                deliver_node_round(
+                    node, actions[node], int(partners[node]), round_index,
+                    rf, suspicion,
+                )
+                for node in range(n)
+                if actions[node] is not None and actions[node].kind != "idle"
+            ]
+            if deliveries:
+                lost_pushes += sum(await asyncio.gather(*deliveries))
+
+            if detector is not None:
+                probers = [
+                    node for node in range(n)
+                    if not live_transport.is_down(node)
+                ]
+                await detector.run_round(round_index, probers)
+
+            protocol.end_round(round_index)
+            if hook is not None:
+                hook(record, perf_counter() - round_started)
+            round_index += 1
+            completed = protocol.is_done(round_index)
+    finally:
+        if owned:
+            await live_transport.stop()
+
+    result = finish_run(
+        protocol, stats, round_index, completed, max_rounds, raise_on_budget
+    )
+    result.extra["transport"] = type(live_transport).__name__
+    result.extra["lost_messages"] = lost_pushes
+    result.extra["rpc_calls"] = rpc.calls
+    result.extra["rpc_retries"] = rpc.retries
+    result.extra["rpc_failures"] = rpc.failures
+    result.extra["crashed_nodes"] = sorted(live_transport.down)
+    if detector is not None:
+        result.extra["suspected"] = sorted(detector.suspected)
+        result.extra["confirmed_dead"] = sorted(detector.confirmed)
+    return result
+
+
+def run_protocol_asyncio(
+    protocol: GossipProtocol,
+    rng: Union[None, int, RandomSource] = None,
+    failure_model: Union[None, float, FailureModel] = None,
+    max_rounds: int = 10_000,
+    metrics: Optional[NetworkMetrics] = None,
+    raise_on_budget: bool = True,
+    topology: Optional[Topology] = None,
+    peer_sampling: str = "uniform",
+    topology_process: Optional[TopologyProcess] = None,
+    on_round: Optional[Callable[[RoundRecord, float], None]] = None,
+    faults: Optional[FaultInjector] = None,
+    transport: Union[None, str, Transport] = None,
+    retry: Optional[RetryPolicy] = None,
+    detector: Optional[SwimFailureDetector] = None,
+    delay_unit_s: float = 0.005,
+    run_timeout_s: float = 120.0,
+) -> EngineResult:
+    """Run ``protocol`` over a live transport; the ``engine="asyncio"`` path.
+
+    Accepts every :func:`~repro.gossip.engine.run_protocol_loop` parameter
+    plus the net-specific knobs: ``transport`` (``None``/"channel" for the
+    in-process transport, ``"tcp"`` for loopback TCP, or a reusable
+    :class:`~repro.net.transport.Transport` instance whose kill state
+    persists across runs), ``retry`` (the
+    :class:`~repro.net.rpc.RetryPolicy`), ``detector`` (a
+    :class:`~repro.net.failure_detector.SwimFailureDetector` run
+    per-round), ``delay_unit_s`` (seconds per fault delay window) and
+    ``run_timeout_s`` — a hard wall-clock ceiling on the whole run, so a
+    wedged network can never hang a caller (or CI) indefinitely.
+    """
+    if run_timeout_s <= 0:
+        raise ConfigurationError("run_timeout_s must be positive")
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        pass
+    else:
+        raise ConfigurationError(
+            "run_protocol_asyncio() cannot be called from a running event "
+            "loop; await arun_protocol(...) instead"
+        )
+    try:
+        return asyncio.run(
+            asyncio.wait_for(
+                arun_protocol(
+                    protocol,
+                    rng=rng,
+                    failure_model=failure_model,
+                    max_rounds=max_rounds,
+                    metrics=metrics,
+                    raise_on_budget=raise_on_budget,
+                    topology=topology,
+                    peer_sampling=peer_sampling,
+                    topology_process=topology_process,
+                    on_round=on_round,
+                    faults=faults,
+                    transport=transport,
+                    retry=retry,
+                    detector=detector,
+                    delay_unit_s=delay_unit_s,
+                ),
+                run_timeout_s,
+            )
+        )
+    except asyncio.TimeoutError as exc:
+        raise ConvergenceError(
+            f"asyncio run of {protocol.name!r} exceeded its hard "
+            f"{run_timeout_s}s wall-clock ceiling"
+        ) from exc

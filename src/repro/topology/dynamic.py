@@ -245,6 +245,19 @@ class ChurnProcess(TopologyProcess):
     min_active:
         The schedule never lets the active set drop below this size: a
         proposed step that would is skipped (the mask carries over).
+    leave_weights:
+        Departure-rate shaping.  ``None`` (default) is uniform churn —
+        every active node departs with ``churn_rate`` — and keeps the
+        schedule stream byte-identical to the historical behaviour.
+        ``"degree"`` makes departures degree-correlated: node ``v`` leaves
+        with ``churn_rate * degree(v) / max_degree``, so hubs churn at the
+        full rate and leaves proportionally less — the adversarial case
+        for gossip, since each departure removes the most connectivity.
+        Requires a non-complete base ``topology``.  An explicit length-n
+        array of per-node multipliers in ``[0, 1]`` is also accepted.
+        Shaping multiplies probabilities only; the *draw* stays one
+        uniform per node per round, so every ``leave_weights`` setting
+        consumes the private stream identically.
     rng:
         Seed for the private schedule stream (see :class:`TopologyProcess`).
 
@@ -263,6 +276,7 @@ class ChurnProcess(TopologyProcess):
         rejoin_rate: Optional[float] = None,
         topology: Optional[Topology] = None,
         min_active: int = 2,
+        leave_weights: Union[None, str, np.ndarray] = None,
         rng: SeedLike = None,
     ) -> None:
         if topology is not None:
@@ -303,6 +317,32 @@ class ChurnProcess(TopologyProcess):
             self._arc_src = np.repeat(
                 np.arange(n, dtype=np.int64), self.base.degrees
             )
+        if leave_weights is None:
+            self._leave_weights: Optional[np.ndarray] = None
+        elif isinstance(leave_weights, str):
+            if leave_weights != "degree":
+                raise ConfigurationError(
+                    f"unknown leave_weights {leave_weights!r}; expected "
+                    "'degree', an array, or None"
+                )
+            if self.base is None:
+                raise ConfigurationError(
+                    "leave_weights='degree' needs a non-complete base "
+                    "topology to read degrees from"
+                )
+            degrees = self.base.degrees.astype(float)
+            self._leave_weights = degrees / float(degrees.max())
+        else:
+            weights = np.asarray(leave_weights, dtype=float)
+            if weights.shape != (n,):
+                raise ConfigurationError(
+                    f"leave_weights must have shape ({n},), got {weights.shape}"
+                )
+            if np.any(weights < 0.0) or np.any(weights > 1.0):
+                raise ConfigurationError(
+                    "leave_weights entries must be in [0, 1]"
+                )
+            self._leave_weights = weights.copy()
         self.active_history: List[int] = []
         self._active: Optional[np.ndarray] = None
         self._state: Optional[RoundState] = None
@@ -332,8 +372,12 @@ class ChurnProcess(TopologyProcess):
     def _evolve(self) -> bool:
         """Advance the mask one round; returns True when it changed."""
         u = self._rng.random(self.n)
+        if self._leave_weights is None:
+            leave_p: Union[float, np.ndarray] = self.churn_rate
+        else:
+            leave_p = self.churn_rate * self._leave_weights
         proposed = np.where(
-            self._active, u >= self.churn_rate, u < self.rejoin_rate
+            self._active, u >= leave_p, u < self.rejoin_rate
         )
         if int(proposed.sum()) < self.min_active:
             return False  # guard: skip a step that would empty the network

@@ -1,0 +1,18 @@
+"""Near miss: per-task streams are derived before the fan-out."""
+
+import asyncio
+
+from repro.utils.rand import RandomSource
+
+
+async def worker(stream):
+    return stream.random()
+
+
+async def fan_out():
+    source = RandomSource(7)
+    streams = source.spawn(4)
+    tasks = []
+    for stream in streams:
+        tasks.append(asyncio.create_task(worker(stream)))
+    return await asyncio.gather(*tasks)

@@ -1,0 +1,15 @@
+"""Near miss: cooperative sleep, and blocking work kept out of coroutines."""
+
+import asyncio
+import time
+
+
+def measure(fn):
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+async def throttle(delay_s):
+    await asyncio.sleep(delay_s)
+    return delay_s

@@ -1,0 +1,14 @@
+"""Near miss: every coroutine send is awaited, gathered or scheduled."""
+
+import asyncio
+
+
+async def send_update(peer, payload):
+    return {"peer": peer, "payload": payload}
+
+
+async def broadcast(payload):
+    await send_update(0, payload)
+    pending = asyncio.ensure_future(send_update(1, payload))
+    replies = await asyncio.gather(send_update(2, payload), pending)
+    return replies

@@ -1,0 +1,17 @@
+"""True positive: one shared RandomSource handed to every spawned task."""
+
+import asyncio
+
+from repro.utils.rand import RandomSource
+
+
+async def worker(stream):
+    return stream.random()
+
+
+async def fan_out():
+    source = RandomSource(7)
+    tasks = []
+    for _ in range(4):
+        tasks.append(asyncio.create_task(worker(source)))
+    return await asyncio.gather(*tasks)

@@ -1,0 +1,8 @@
+"""True positive: a synchronous sleep inside a coroutine stalls the loop."""
+
+import time
+
+
+async def throttle(delay_s):
+    time.sleep(delay_s)
+    return delay_s

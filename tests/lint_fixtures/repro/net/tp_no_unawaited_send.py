@@ -1,0 +1,10 @@
+"""True positive: a coroutine send called without await — nothing is sent."""
+
+
+async def send_update(peer, payload):
+    return {"peer": peer, "payload": payload}
+
+
+async def broadcast(payload):
+    send_update(0, payload)
+    return True

@@ -1,0 +1,10 @@
+"""True positive: event-loop clock read outside repro.net.transport."""
+
+import asyncio
+
+
+async def measure(coro):
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    await coro
+    return loop.time() - started

@@ -1,0 +1,10 @@
+"""Scoping near miss: repro.net.transport owns loop.time() latency reads."""
+
+import asyncio
+
+
+async def timed_call(handler, frame):
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    reply = await handler(frame)
+    return reply, loop.time() - started

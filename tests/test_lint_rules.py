@@ -37,6 +37,18 @@ RULE_FIXTURES = {
         "core/tp_bare_suppression.py",
         "core/nm_bare_suppression.py",
     ),
+    "async-private-stream": (
+        "net/tp_async_private_stream.py",
+        "net/nm_async_private_stream.py",
+    ),
+    "no-unawaited-send": (
+        "net/tp_no_unawaited_send.py",
+        "net/nm_no_unawaited_send.py",
+    ),
+    "no-blocking-in-loop": (
+        "net/tp_no_blocking_in_loop.py",
+        "net/nm_no_blocking_in_loop.py",
+    ),
 }
 
 
@@ -104,6 +116,23 @@ def test_wallclock_rule_is_inert_inside_repro_obs():
     """Scoping near miss: time.time() inside repro.obs is the obs layer's job."""
     result = lint_paths([str(FIXTURES / "obs" / "nm_wallclock_scoped.py")])
     assert result.exit_code == 0
+
+
+def test_wallclock_flags_loop_time_outside_transport():
+    """The loop clock is a wall clock too: loop.time() in runner/protocol
+    code is flagged by the wallclock rule (RULE_FIXTURES holds the rule's
+    canonical time.time fixture; loop.time has its own scoped pair)."""
+    result = lint_paths([str(FIXTURES / "net" / "tp_wallclock_loop_time.py")])
+    assert result.exit_code != 0
+    assert {finding.rule for finding in result.findings} == {"wallclock"}
+
+
+def test_wallclock_allows_loop_time_inside_net_transport():
+    """Containment: repro.net.transport is the one module that may read
+    loop.time() — per-RPC latency is a transport property."""
+    result = lint_paths([str(FIXTURES / "net" / "transport.py")])
+    assert result.exit_code == 0
+    assert result.findings == []
 
 
 def test_justified_suppression_is_recorded_not_dropped():

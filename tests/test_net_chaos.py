@@ -1,0 +1,315 @@
+"""Chaos on the live backend: SWIM bounds, conservation, degraded answers.
+
+``repro.faults`` specs are reinterpreted as transport faults here — crash
+kills an endpoint, drop loses the frame in flight, delay holds the write.
+Every schedule is seeded, so each assertion is a deterministic replay, and
+every async run sits under a hard wall-clock ceiling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.aggregates.push_sum import PushSumProtocol
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    CrashRestart,
+    FaultInjector,
+    MessageDelay,
+    MessageDrop,
+)
+from repro.gossip.metrics import NetworkMetrics
+from repro.net import (
+    ChannelTransport,
+    RetryPolicy,
+    SwimFailureDetector,
+    arun_protocol,
+    net_approximate_quantile,
+    run_protocol_asyncio,
+)
+
+TIMEOUT_S = 60.0
+
+#: Tight deadlines for chaos runs: dead peers fail calls fast instead of
+#: spending wall time in full backoff schedules.  The retry policy never
+#: feeds the engine stream, so pins are unaffected.
+FAST_RETRY = RetryPolicy(timeout_s=0.05, attempts=2, backoff_base_s=0.001)
+
+
+def run(coro, timeout_s: float = TIMEOUT_S):
+    return asyncio.run(asyncio.wait_for(coro, timeout_s))
+
+
+def _values(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=n)
+
+
+# -- SWIM failure detection ------------------------------------------------
+
+
+def _swim_run(kill=(), rounds=12, mode="refuse"):
+    """One seeded detector run over a push-sum workload; returns
+    (detector, result).  ``kill`` nodes go down before round 0."""
+    n = 16
+    values = _values(n, seed=3)
+    transport = ChannelTransport(n)
+    detector = SwimFailureDetector(
+        n, rng=5, k_indirect=2, ping_timeout_s=0.02, confirm_after_rounds=2
+    )
+
+    async def go():
+        for node in kill:
+            transport.kill(node, mode=mode)
+        try:
+            return await arun_protocol(
+                PushSumProtocol(values, rounds=rounds),
+                rng=6,
+                transport=transport,
+                retry=FAST_RETRY,
+                detector=detector,
+            )
+        finally:
+            await transport.stop()
+
+    return detector, run(go())
+
+
+def test_swim_suspects_and_confirms_dead_peers():
+    detector, result = _swim_run(kill=(3, 7))
+    assert result.extra["suspected"] == [3, 7]
+    assert result.extra["confirmed_dead"] == [3, 7]
+    # Suspicion latency bound: with 14 live probers each probing once per
+    # round, a dead peer is probed (and suspected) within the first few
+    # rounds of this seeded schedule.
+    for node in (3, 7):
+        since = detector.suspicion_round(node)
+        confirmed = detector.confirmation_round(node)
+        assert since is not None and since <= 4
+        assert confirmed is not None
+        assert confirmed - since + 1 >= detector.confirm_after_rounds
+    assert detector.stats.direct_pings > 0
+
+
+def test_swim_silent_peers_are_caught_by_the_ping_deadline():
+    """A hung (silent) process never refuses — only the RPC deadline sees
+    it.  Suspicion must still land."""
+    detector, result = _swim_run(kill=(5,), mode="silent")
+    assert 5 in detector.suspected
+    assert 5 in detector.confirmed
+
+
+def test_swim_zero_false_positives_on_a_healthy_network():
+    detector, result = _swim_run(kill=())
+    assert detector.suspected == set()
+    assert detector.stats.suspicions == 0
+    assert result.extra["suspected"] == []
+
+
+def test_swim_false_positive_rate_bounded_under_drop_and_delay():
+    """Drops and delays hit the gossip data plane, not the ping control
+    plane: the detector must end the run with no live peer suspected."""
+    n = 16
+    values = _values(n, seed=4)
+    detector = SwimFailureDetector(n, rng=7, ping_timeout_s=0.02)
+    faults = FaultInjector(
+        [MessageDrop(0.2), MessageDelay(0.2, max_delay=2)], rng=11
+    )
+    result = run_protocol_asyncio(
+        PushSumProtocol(values, rounds=10),
+        rng=8,
+        faults=faults,
+        detector=detector,
+        delay_unit_s=0.001,
+    )
+    assert detector.suspected == set()
+    assert detector.stats.false_positives_cleared == 0
+    assert result.extra["lost_messages"] > 0
+
+
+def test_swim_suspicion_piggybacks_on_gossip_pushes():
+    """Dissemination rides the data plane: a digest merged from a received
+    push marks the suspicion as gossip-delivered."""
+    detector = SwimFailureDetector(8, rng=1)
+    detector.merge_digest([2, 5], round_index=4)
+    assert detector.suspected == {2, 5}
+    assert detector.stats.gossip_disseminations == 2
+    assert detector.suspects[2].via_gossip is True
+    assert detector.digest() == [2, 5]
+    # Idempotent: re-merging an already-suspected peer is a no-op.
+    detector.merge_digest([2], round_index=5)
+    assert detector.stats.gossip_disseminations == 2
+    assert detector.suspects[2].since_round == 4
+
+
+def test_swim_probe_schedule_replays_identically():
+    first, _ = _swim_run(kill=(3,))
+    second, _ = _swim_run(kill=(3,))
+    assert first.stats.events == second.stats.events
+    assert first.stats.direct_pings == second.stats.direct_pings
+    assert first.stats.indirect_pings == second.stats.indirect_pings
+
+
+def test_swim_detector_validation():
+    with pytest.raises(ConfigurationError):
+        SwimFailureDetector(1)
+    with pytest.raises(ConfigurationError):
+        SwimFailureDetector(4, k_indirect=3)
+    with pytest.raises(ConfigurationError):
+        SwimFailureDetector(4, ping_timeout_s=0)
+    with pytest.raises(ConfigurationError):
+        SwimFailureDetector(4, confirm_after_rounds=0)
+
+
+# -- conservation under chaos ---------------------------------------------
+
+
+def test_push_sum_mass_is_conserved_under_drop_and_crash():
+    """The on_send_failure self-merge (Section-5 "keep your half") keeps
+    total push-sum mass exact while frames are lost and peers die."""
+    n = 16
+    values = _values(n, seed=5)
+    protocol = PushSumProtocol(values, rounds=25)
+    faults = FaultInjector(
+        [
+            MessageDrop(0.2),
+            CrashRestart(0.02, downtime=10**6, reset_values=False),
+        ],
+        rng=13,
+    )
+    result = run_protocol_asyncio(protocol, rng=9, faults=faults)
+    assert result.extra["lost_messages"] > 0
+    assert len(result.extra["crashed_nodes"]) > 0
+    np.testing.assert_allclose(protocol._s.sum(), values.sum(), rtol=1e-12)
+    np.testing.assert_allclose(protocol._w.sum(), float(n), rtol=1e-12)
+
+
+def test_chaos_schedule_replays_bit_for_bit():
+    """Same seeds, same chaos: crashed sets, loss counters and metrics
+    totals are identical across two whole runs."""
+
+    def once():
+        metrics = NetworkMetrics()
+        faults = FaultInjector(
+            [MessageDrop(0.15), CrashRestart(0.02, downtime=10**6)], rng=17
+        )
+        protocol = PushSumProtocol(_values(12, seed=6), rounds=15)
+        result = run_protocol_asyncio(
+            protocol, rng=10, metrics=metrics, faults=faults
+        )
+        return (
+            result.extra["crashed_nodes"],
+            result.extra["lost_messages"],
+            metrics.summary(),
+            protocol.outputs_array().tolist(),
+        )
+
+    assert once() == once()
+
+
+# -- graceful degradation: the PR-8 contract over the network --------------
+
+
+def test_quantile_completes_with_widened_bounds_under_crash_chaos():
+    """The ISSUE-10 acceptance scenario: ≥10% of peers crash mid-query,
+    the query still completes, and the answer carries honestly widened
+    accuracy that actually covers the achieved rank error."""
+    n = 16
+    values = _values(n, seed=3)
+    faults = FaultInjector(
+        [CrashRestart(0.01, downtime=10**9, reset_values=False)], rng=21
+    )
+    answer = net_approximate_quantile(
+        values,
+        phi=0.5,
+        eps=0.1,
+        rng=13,
+        transport=ChannelTransport(n),
+        faults=faults,
+        retry=FAST_RETRY,
+    )
+    assert answer.degraded is True
+    assert len(answer.crashed) >= n // 10
+    assert answer.n_live == n - len(answer.crashed)
+    assert answer.accuracy == pytest.approx(0.1 + len(answer.crashed) / n)
+    assert answer.accuracy < 0.5  # degraded, not meaningless
+    # The honest bound holds: the achieved rank sits inside the widened
+    # band around phi.
+    achieved_rank = float(np.mean(values <= answer.value))
+    assert abs(achieved_rank - answer.phi) <= answer.accuracy
+    assert answer.bisection_steps > 0
+    assert answer.rounds > 0
+
+
+def test_quantile_fault_free_run_is_not_degraded():
+    values = _values(16, seed=3)
+    answer = net_approximate_quantile(values, phi=0.5, eps=0.1, rng=13)
+    assert answer.degraded is False
+    assert answer.crashed == ()
+    assert answer.accuracy == pytest.approx(0.1)
+    achieved_rank = float(np.mean(values <= answer.value))
+    assert abs(achieved_rank - 0.5) <= answer.accuracy
+
+
+def test_quantile_carries_prewounded_transport_state():
+    """A shared transport session keeps its kill state: peers already dead
+    before the query widen the answer exactly like mid-query deaths."""
+    n = 12
+    values = _values(n, seed=8)
+    transport = ChannelTransport(n)
+    transport.kill(2)
+    transport.kill(9)
+
+    async def go():
+        try:
+            return await anet()
+        finally:
+            await transport.stop()
+
+    async def anet():
+        from repro.net import anet_approximate_quantile
+
+        return await anet_approximate_quantile(
+            values, phi=0.5, eps=0.1, rng=4, transport=transport,
+            retry=FAST_RETRY,
+        )
+
+    answer = run(go())
+    assert answer.degraded is True
+    assert answer.crashed == (2, 9)
+    assert answer.accuracy == pytest.approx(0.1 + 2 / n)
+
+
+def test_quantile_refuses_without_a_quorum():
+    n = 8
+    values = _values(n, seed=9)
+    transport = ChannelTransport(n)
+    for node in range(n - 1):
+        transport.kill(node)
+
+    async def go():
+        from repro.net import anet_approximate_quantile
+
+        try:
+            with pytest.raises(ConfigurationError, match="quorum"):
+                await anet_approximate_quantile(
+                    values, rng=1, transport=transport, retry=FAST_RETRY
+                )
+        finally:
+            await transport.stop()
+
+    run(go())
+
+
+def test_quantile_validates_inputs():
+    values = _values(8)
+    with pytest.raises(ConfigurationError):
+        net_approximate_quantile(values, phi=1.5)
+    with pytest.raises(ConfigurationError):
+        net_approximate_quantile(values, eps=0.0)
+    with pytest.raises(ConfigurationError):
+        net_approximate_quantile([1.0])
+    with pytest.raises(ConfigurationError):
+        net_approximate_quantile(values, run_timeout_s=0)

@@ -1,0 +1,208 @@
+"""The simulated ≡ deployed equivalence suite.
+
+The ISSUE-10 win condition: the *same* protocol subclasses, unmodified,
+run on the loop engine, the vectorized engine, and the live asyncio
+backend with identical round counts, identical per-node outputs, and
+identical :class:`NetworkMetrics` message/bit totals (faults disabled).
+The equivalence is by construction — the asyncio runner consumes the
+engines' shared round prologue — and these tests are the pin that keeps
+it that way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.aggregates.extrema import ExtremaProtocol
+from repro.aggregates.push_sum import PushSumProtocol
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.gossip.engine import (
+    ENGINE_CHOICES,
+    get_default_engine,
+    run_protocol,
+    set_default_engine,
+)
+from repro.gossip.metrics import NetworkMetrics
+from repro.gossip.protocol import Action, GossipProtocol
+from repro.net import arun_protocol, run_protocol_asyncio
+
+
+def _values(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=n)
+
+
+def _run_engine(engine, make_protocol, seed, **kwargs):
+    metrics = NetworkMetrics()
+    result = run_protocol(
+        make_protocol(), rng=seed, metrics=metrics, engine=engine, **kwargs
+    )
+    return result, metrics
+
+
+def _assert_triplet_equal(make_protocol, seed, **kwargs):
+    """loop ≡ vectorized ≡ asyncio: rounds, outputs, message/bit totals."""
+    results = {}
+    for engine in ("loop", "vectorized", "asyncio"):
+        results[engine] = _run_engine(engine, make_protocol, seed, **kwargs)
+    loop_result, loop_metrics = results["loop"]
+    for engine in ("vectorized", "asyncio"):
+        result, metrics = results[engine]
+        assert result.rounds == loop_result.rounds, engine
+        assert metrics.summary() == loop_metrics.summary(), engine
+        np.testing.assert_array_equal(
+            result.outputs_array, loop_result.outputs_array, err_msg=engine
+        )
+    return results
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_push_sum_pins_across_all_three_engines(n):
+    values = _values(n, seed=1)
+    results = _assert_triplet_equal(
+        lambda: PushSumProtocol(values, rounds=20), seed=5
+    )
+    result, metrics = results["asyncio"]
+    assert result.rounds == 20
+    # The loop engine's accounting formulas, applied literally: one push
+    # per live node per round.
+    assert metrics.summary()["messages"] == n * 20
+    assert result.extra["transport"] == "ChannelTransport"
+    assert result.extra["lost_messages"] == 0
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_extrema_pins_across_all_three_engines(n):
+    values = _values(n, seed=2)
+    results = _assert_triplet_equal(lambda: ExtremaProtocol(values), seed=9)
+    result, _ = results["asyncio"]
+    assert np.allclose(result.outputs_array, values.max())
+
+
+def test_push_sum_converges_to_the_mean_over_the_network():
+    values = _values(16, seed=3)
+    result = run_protocol_asyncio(PushSumProtocol(values), rng=4)
+    np.testing.assert_allclose(
+        result.outputs_array, values.mean(), rtol=1e-4
+    )
+
+
+def test_failure_model_parity_loop_vs_asyncio():
+    """The failure mask comes from the shared prologue, so a lossy run
+    (mu=0.2) is *also* bit-identical between simulated and deployed."""
+    values = _values(16, seed=4)
+    loop_result, loop_metrics = _run_engine(
+        "loop", lambda: PushSumProtocol(values, rounds=15), 7,
+        failure_model=0.2,
+    )
+    net_result, net_metrics = _run_engine(
+        "asyncio", lambda: PushSumProtocol(values, rounds=15), 7,
+        failure_model=0.2,
+    )
+    assert net_result.rounds == loop_result.rounds
+    assert net_metrics.summary() == loop_metrics.summary()
+    assert net_metrics.summary()["failed_node_rounds"] > 0
+    np.testing.assert_array_equal(
+        net_result.outputs_array, loop_result.outputs_array
+    )
+
+
+def test_tcp_transport_matches_the_simulated_engines():
+    """One pin over real loopback sockets: the transport is swappable
+    without touching the accounting."""
+    values = _values(8, seed=5)
+    loop_result, loop_metrics = _run_engine(
+        "loop", lambda: ExtremaProtocol(values), 11
+    )
+    metrics = NetworkMetrics()
+    result = run_protocol_asyncio(
+        ExtremaProtocol(values), rng=11, metrics=metrics, transport="tcp"
+    )
+    assert result.extra["transport"] == "TcpTransport"
+    assert result.rounds == loop_result.rounds
+    assert metrics.summary() == loop_metrics.summary()
+    np.testing.assert_array_equal(
+        result.outputs_array, loop_result.outputs_array
+    )
+
+
+# -- engine dispatch -------------------------------------------------------
+
+
+def test_asyncio_is_a_first_class_engine_choice():
+    assert "asyncio" in ENGINE_CHOICES
+
+
+def test_auto_never_selects_the_asyncio_engine():
+    values = _values(8)
+    metrics = NetworkMetrics()
+    result = run_protocol(
+        PushSumProtocol(values, rounds=3), rng=0, metrics=metrics,
+        engine="auto",
+    )
+    # An asyncio run stamps its transport into result.extra; auto must not.
+    assert "transport" not in result.extra
+
+
+def test_asyncio_cannot_become_the_ambient_default_engine():
+    previous = get_default_engine()
+    try:
+        with pytest.raises(ConfigurationError):
+            set_default_engine("asyncio")
+        assert get_default_engine() == previous
+    finally:
+        set_default_engine(previous)
+
+
+def test_non_batch_protocols_are_rejected_with_a_clear_error():
+    class OrderSensitive(GossipProtocol):
+        name = "order-sensitive"
+
+        def __init__(self):
+            super().__init__(4)
+
+        def act(self, node, round_index):
+            return Action("idle")
+
+        def on_receive(self, node, payload, sender, kind, round_index):
+            pass
+
+        def is_done(self, round_index):
+            return round_index >= 1
+
+        def outputs(self):
+            return [0.0] * self.n
+
+    with pytest.raises(ProtocolError, match="delivery-order"):
+        run_protocol_asyncio(OrderSensitive(), rng=0)
+
+
+def test_sync_entry_point_refuses_a_running_loop():
+    async def go():
+        with pytest.raises(ConfigurationError, match="running event loop"):
+            run_protocol_asyncio(PushSumProtocol(_values(4), rounds=2), rng=0)
+
+    asyncio.run(go())
+
+
+def test_run_timeout_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        run_protocol_asyncio(
+            PushSumProtocol(_values(4), rounds=2), rng=0, run_timeout_s=0
+        )
+
+
+def test_arun_protocol_composes_inside_an_existing_loop():
+    """The async body is the composition surface: callers that already own
+    a loop (the CLI's --prom-port path, the live-scrape test) await it."""
+    values = _values(8, seed=6)
+
+    async def go():
+        return await asyncio.wait_for(
+            arun_protocol(PushSumProtocol(values, rounds=5), rng=1), 30.0
+        )
+
+    result = asyncio.run(go())
+    assert result.rounds == 5

@@ -1,0 +1,281 @@
+"""Transport and RPC layer: frames, kill modes, deadlines, retry replay.
+
+Every async test runs under a hard ``asyncio.wait_for`` ceiling so a
+wedged transport can fail the test but never hang the suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    ChannelTransport,
+    PeerUnreachable,
+    RetryPolicy,
+    RpcClient,
+    RpcError,
+    RpcTimeout,
+    TcpTransport,
+)
+
+TIMEOUT_S = 20.0
+
+
+def run(coro, timeout_s: float = TIMEOUT_S):
+    return asyncio.run(asyncio.wait_for(coro, timeout_s))
+
+
+async def _echo(dst, frame):
+    return {"echo": frame["x"], "served_by": dst}
+
+
+def _register_all(transport, handler=_echo):
+    for node in range(transport.n):
+        transport.register(node, handler)
+
+
+# -- round trips -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("cls", [ChannelTransport, TcpTransport])
+def test_roundtrip(cls):
+    async def go():
+        transport = cls(4)
+        _register_all(transport)
+        await transport.start()
+        try:
+            reply = await transport.call(0, 3, {"x": 42})
+            assert reply == {"echo": 42, "served_by": 3}
+            # Latency was recorded via the loop clock.
+            assert len(transport.latencies_s) == 1
+            assert transport.latencies_s[0] >= 0.0
+            assert transport.calls == 1
+        finally:
+            await transport.stop()
+
+    run(go())
+
+
+def test_tcp_concurrent_pairs_and_payload_fidelity():
+    """Many pairs in flight at once over real sockets; tuples survive the
+    pickle framing bit-for-bit."""
+
+    async def go():
+        transport = TcpTransport(6)
+        _register_all(transport)
+        await transport.start()
+        try:
+            replies = await asyncio.gather(
+                *(
+                    transport.call(src, (src + 1) % 6, {"x": (src, src / 7.0)})
+                    for src in range(6)
+                )
+            )
+            for src, reply in enumerate(replies):
+                assert reply["echo"] == (src, src / 7.0)
+        finally:
+            await transport.stop()
+
+    run(go())
+
+
+def test_transport_validates_nodes():
+    with pytest.raises(ValueError):
+        ChannelTransport(1)
+    transport = ChannelTransport(3)
+    with pytest.raises(ValueError):
+        transport.register(3, _echo)
+    with pytest.raises(ValueError):
+        transport.kill(-1)
+
+
+# -- kill / revive ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("cls", [ChannelTransport, TcpTransport])
+def test_kill_refuse_then_revive(cls):
+    async def go():
+        transport = cls(3)
+        _register_all(transport)
+        await transport.start()
+        try:
+            transport.kill(1, mode="refuse")
+            assert transport.is_down(1)
+            assert transport.down == {1}
+            with pytest.raises(PeerUnreachable):
+                await transport.call(0, 1, {"x": 1})
+            assert transport.refused >= 1
+            transport.revive(1)
+            reply = await transport.call(0, 1, {"x": 2})
+            assert reply["echo"] == 2
+        finally:
+            await transport.stop()
+
+    run(go())
+
+
+def test_kill_silent_hangs_until_caller_deadline():
+    """A "silent" kill models a hung process: the frame is swallowed and
+    only the caller's own deadline notices — the SWIM timeout path."""
+
+    async def go():
+        transport = ChannelTransport(3)
+        _register_all(transport)
+        await transport.start()
+        try:
+            transport.kill(2, mode="silent")
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(transport.call(0, 2, {"x": 1}), 0.05)
+        finally:
+            await transport.stop()
+
+    run(go())
+
+
+def test_kill_rejects_unknown_mode():
+    transport = ChannelTransport(2)
+    with pytest.raises(ValueError):
+        transport.kill(0, mode="explode")
+
+
+# -- retry policy ----------------------------------------------------------
+
+
+def test_retry_policy_schedule_is_stateless_and_replayable():
+    policy = RetryPolicy(attempts=4, backoff_base_s=0.01, entropy=7)
+    first = policy.schedule(node=3, seq=11)
+    again = policy.schedule(node=3, seq=11)
+    assert first == again
+    assert len(first) == 3
+    twin = RetryPolicy(attempts=4, backoff_base_s=0.01, entropy=7)
+    assert twin.schedule(3, 11) == first
+    # Different identity, different jitter; same exponential envelope.
+    other = policy.schedule(node=4, seq=11)
+    assert other != first
+    for attempt, delay in enumerate(first):
+        base = 0.01 * 2.0**attempt
+        assert base <= delay <= base * 1.5
+
+
+def test_retry_policy_schedule_pinned_values():
+    """The replay contract, pinned to exact floats: the jitter derives from
+    SeedSequence([entropy, node, seq, attempt]) and nothing else."""
+    policy = RetryPolicy(attempts=3, backoff_base_s=0.01, entropy=0)
+    schedule = policy.schedule(node=0, seq=0)
+    expected = tuple(
+        0.01
+        * 2.0**attempt
+        * (
+            1.0
+            + 0.5
+            * float(
+                np.random.default_rng(
+                    np.random.SeedSequence([0, 0, 0, attempt])
+                ).random()
+            )
+        )
+        for attempt in range(2)
+    )
+    assert schedule == expected
+
+
+def test_retry_policy_zero_jitter_is_pure_exponential():
+    policy = RetryPolicy(attempts=4, backoff_base_s=0.02, jitter=0.0)
+    assert policy.schedule(0, 0) == (0.02, 0.04, 0.08)
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout_s=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+
+
+# -- rpc client ------------------------------------------------------------
+
+
+def test_rpc_retries_through_transient_refusal():
+    """The peer is down for the first attempt and back for the retry; the
+    client's counters record one retry and no failures."""
+
+    async def go():
+        transport = ChannelTransport(2)
+        _register_all(transport)
+        await transport.start()
+        client = RpcClient(
+            transport,
+            RetryPolicy(attempts=3, backoff_base_s=0.001, timeout_s=0.5),
+        )
+        transport.kill(1, mode="refuse")
+
+        async def revive_soon():
+            await asyncio.sleep(0.0005)
+            transport.revive(1)
+
+        reviver = asyncio.create_task(revive_soon())
+        reply = await client.call(0, 1, {"kind": "ping", "x": 5})
+        await reviver
+        assert reply["echo"] == 5
+        assert client.calls == 1
+        assert client.retries >= 1
+        assert client.failures == 0
+        await transport.stop()
+
+    run(go())
+
+
+def test_rpc_exhaustion_raises_rpc_error():
+    async def go():
+        transport = ChannelTransport(2)
+        _register_all(transport)
+        await transport.start()
+        client = RpcClient(
+            transport, RetryPolicy(attempts=2, backoff_base_s=0.001)
+        )
+        transport.kill(1, mode="refuse")
+        with pytest.raises(RpcError):
+            await client.call(0, 1, {"kind": "ping"})
+        assert client.failures == 1
+        assert client.retries == 1
+        await transport.stop()
+
+    run(go())
+
+
+def test_rpc_deadline_on_silent_peer_raises_timeout():
+    async def go():
+        transport = ChannelTransport(2)
+        _register_all(transport)
+        await transport.start()
+        client = RpcClient(
+            transport,
+            RetryPolicy(attempts=2, timeout_s=0.02, backoff_base_s=0.001),
+        )
+        transport.kill(1, mode="silent")
+        with pytest.raises(RpcTimeout):
+            await client.call(0, 1, {"kind": "ping"})
+        await transport.stop()
+
+    run(go())
+
+
+def test_rpc_sequence_numbers_are_per_source_node():
+    async def go():
+        transport = ChannelTransport(3)
+        _register_all(transport)
+        await transport.start()
+        client = RpcClient(transport)
+        await client.call(0, 1, {"x": 1})
+        await client.call(0, 2, {"x": 2})
+        await client.call(1, 2, {"x": 3})
+        assert client._seq == {0: 2, 1: 1}
+        await transport.stop()
+
+    run(go())

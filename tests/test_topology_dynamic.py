@@ -25,6 +25,7 @@ from repro.topology import (
     EdgeResamplingProcess,
     StaticProcess,
     build_topology,
+    preferential_attachment,
     ring,
     watts_strogatz,
 )
@@ -406,3 +407,81 @@ def test_push_sum_average_accepts_topology_process():
     assert result.estimates.shape == (n,)
     assert np.isfinite(result.estimates).all()
     assert abs(np.mean(result.estimates) - values.mean()) < 1.0
+
+
+# ---- degree-correlated departures (leave_weights) ----------------------------
+
+
+def test_uniform_leave_weights_match_the_default_schedule_exactly():
+    """Shaping multiplies probabilities but never adds draws: all-ones
+    weights consume the private stream identically to the default, so the
+    generated masks are byte-identical."""
+    n = 64
+    plain = ChurnProcess(n=n, churn_rate=0.3, rng=7)
+    weighted = ChurnProcess(
+        n=n, churn_rate=0.3, leave_weights=np.ones(n), rng=7
+    )
+    plain.begin()
+    weighted.begin()
+    for i in range(30):
+        np.testing.assert_array_equal(
+            plain.round_state(i).active, weighted.round_state(i).active
+        )
+
+
+def test_degree_weights_require_a_non_complete_base_topology():
+    with pytest.raises(ConfigurationError, match="degree"):
+        ChurnProcess(n=32, churn_rate=0.2, leave_weights="degree", rng=0)
+
+
+def test_leave_weights_validation():
+    base = build_topology("small-world", 32, degree=4, rng=1)
+    with pytest.raises(ConfigurationError, match="unknown leave_weights"):
+        ChurnProcess(topology=base, leave_weights="betweenness", rng=0)
+    with pytest.raises(ConfigurationError, match="shape"):
+        ChurnProcess(topology=base, leave_weights=np.ones(5), rng=0)
+    with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+        ChurnProcess(topology=base, leave_weights=np.full(32, 2.0), rng=0)
+
+
+def test_degree_weighted_departures_bias_toward_hubs():
+    """On a preferential-attachment graph, hubs (top-degree quartile) must
+    spend measurably more rounds inactive than leaves under
+    leave_weights='degree' — the adversarial churn pattern."""
+    n = 128
+    base = preferential_attachment(n, m=3, rng=5)
+    process = ChurnProcess(
+        topology=base, churn_rate=0.3, rejoin_rate=0.3,
+        leave_weights="degree", rng=9,
+    )
+    process.begin()
+    inactive_rounds = np.zeros(n)
+    for i in range(200):
+        inactive_rounds += ~process.round_state(i).active
+    order = np.argsort(base.degrees)
+    leaves = order[: n // 4]
+    hubs = order[-n // 4:]
+    assert inactive_rounds[hubs].mean() > 2.0 * inactive_rounds[leaves].mean()
+    # The max-degree hub churns at the full rate; some low-degree node
+    # should have been near-immune.
+    assert inactive_rounds[order[0]] < inactive_rounds[order[-1]]
+
+
+@pytest.mark.parametrize("engine", ["loop", "vectorized"])
+def test_push_sum_mass_conserved_under_hub_weighted_churn(engine):
+    """The regression the satellite asks for: conservation survives the
+    worst case where the best-connected nodes are the ones leaving."""
+    n = 128
+    base = preferential_attachment(n, m=3, rng=4)
+    process = ChurnProcess(
+        topology=base, churn_rate=0.2, leave_weights="degree", rng=8,
+    )
+    values = _values(n)
+    protocol = PushSumProtocol(values, rounds=40)
+    run_protocol(
+        protocol, rng=3, topology_process=process, engine=engine,
+        max_rounds=41, raise_on_budget=False,
+    )
+    assert protocol.total_mass == pytest.approx(values.sum(), rel=1e-12)
+    assert protocol.total_weight == pytest.approx(n, rel=1e-12)
+    assert min(process.active_history) < n
